@@ -1,0 +1,205 @@
+// Benchmarks mirroring the paper's evaluation: one benchmark (or
+// group) per table and figure, measuring the per-request cost of the
+// pipeline that regenerates it. The full tables/figures themselves are
+// produced by `go run ./cmd/experiments -run all`; these benches pin
+// the runtime claims (Tables 5.3, 5.4; Figures 5.4) and exercise every
+// other experiment's hot path under the Go benchmark harness.
+package krr_test
+
+import (
+	"fmt"
+	"testing"
+
+	"krr/internal/core"
+	"krr/internal/olken"
+	"krr/internal/redislike"
+	"krr/internal/shards"
+	"krr/internal/simulator"
+	"krr/internal/trace"
+	"krr/internal/workload"
+)
+
+// benchTrace materializes a preset once per benchmark binary run.
+func benchTrace(b *testing.B, preset string, n int, variable bool) *trace.Trace {
+	b.Helper()
+	p, ok := workload.ByName(preset)
+	if !ok {
+		b.Fatalf("unknown preset %s", preset)
+	}
+	tr, err := trace.Collect(p.New(0.1, 42, variable), n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// replay feeds b.N requests (cycling the trace) into process.
+func replay(b *testing.B, tr *trace.Trace, process func(trace.Request)) {
+	b.Helper()
+	reqs := tr.Reqs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		process(reqs[i%len(reqs)])
+	}
+}
+
+// --- Fig 1.1 / Fig 5.2: ground-truth K-LRU simulation cost ----------
+
+func BenchmarkFig1_1_KLRUSimulation(b *testing.B) {
+	for _, k := range []int{1, 4, 32} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			tr := benchTrace(b, "msr-web", 1<<17, false)
+			cache := simulator.NewKLRU(simulator.ObjectCapacity(10000), k, true, 1)
+			replay(b, tr, func(r trace.Request) { cache.Access(r) })
+		})
+	}
+}
+
+func BenchmarkFig5_2_ExactLRUStack(b *testing.B) {
+	tr := benchTrace(b, "msr-web", 1<<17, false)
+	prof := olken.NewProfiler(1)
+	replay(b, tr, prof.Process)
+}
+
+// --- Table 5.1 / Fig 5.1: the KRR modeling pipeline ------------------
+
+func BenchmarkTable5_1_KRRModel(b *testing.B) {
+	for _, k := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			tr := benchTrace(b, "msr-web", 1<<17, false)
+			prof := core.MustProfiler(core.Config{K: k, Seed: 1})
+			replay(b, tr, prof.Process)
+		})
+	}
+}
+
+func BenchmarkFig5_1_KRRSpatial(b *testing.B) {
+	tr := benchTrace(b, "msr-src1", 1<<17, false)
+	prof := core.MustProfiler(core.Config{K: 4, Seed: 1, SamplingRate: 0.01})
+	replay(b, tr, prof.Process)
+}
+
+// --- Table 5.2 / Fig 5.3: variable-object-size models ----------------
+
+func BenchmarkTable5_2_VarKRR(b *testing.B) {
+	tr := benchTrace(b, "tw-26.0", 1<<17, true)
+	prof := core.MustProfiler(core.Config{K: 8, Seed: 1, Bytes: core.BytesSizeArray})
+	replay(b, tr, prof.Process)
+}
+
+func BenchmarkFig5_3_UniKRR(b *testing.B) {
+	tr := benchTrace(b, "msr-web", 1<<17, true)
+	prof := core.MustProfiler(core.Config{K: 8, Seed: 1, Bytes: core.BytesUniform})
+	replay(b, tr, prof.Process)
+}
+
+func BenchmarkFig5_3_VarKRRFenwick(b *testing.B) {
+	tr := benchTrace(b, "msr-web", 1<<17, true)
+	prof := core.MustProfiler(core.Config{K: 8, Seed: 1, Bytes: core.BytesFenwick})
+	replay(b, tr, prof.Process)
+}
+
+// --- Table 5.3: stack update efficiency (the headline speedups) ------
+
+func table53Trace(b *testing.B) *trace.Trace {
+	return benchTrace(b, "msr-src1", 1<<17, false)
+}
+
+func BenchmarkTable5_3_Simulation(b *testing.B) {
+	tr := table53Trace(b)
+	cache := simulator.NewKLRU(simulator.ObjectCapacity(20000), 5, true, 1)
+	replay(b, tr, func(r trace.Request) { cache.Access(r) })
+}
+
+func BenchmarkTable5_3_BasicStackLinear(b *testing.B) {
+	tr := table53Trace(b)
+	prof := core.MustProfiler(core.Config{K: 5, Method: core.Linear, Seed: 1})
+	replay(b, tr, prof.Process)
+}
+
+func BenchmarkTable5_3_TopDown(b *testing.B) {
+	tr := table53Trace(b)
+	prof := core.MustProfiler(core.Config{K: 5, Method: core.TopDown, Seed: 1})
+	replay(b, tr, prof.Process)
+}
+
+func BenchmarkTable5_3_Backward(b *testing.B) {
+	tr := table53Trace(b)
+	prof := core.MustProfiler(core.Config{K: 5, Method: core.Backward, Seed: 1})
+	replay(b, tr, prof.Process)
+}
+
+func BenchmarkTable5_3_TopDownSpatial(b *testing.B) {
+	tr := table53Trace(b)
+	prof := core.MustProfiler(core.Config{K: 5, Method: core.TopDown, Seed: 1, SamplingRate: 0.01})
+	replay(b, tr, prof.Process)
+}
+
+func BenchmarkTable5_3_BackwardSpatial(b *testing.B) {
+	tr := table53Trace(b)
+	prof := core.MustProfiler(core.Config{K: 5, Method: core.Backward, Seed: 1, SamplingRate: 0.01})
+	replay(b, tr, prof.Process)
+}
+
+// --- Fig 5.4: update overhead growth with K --------------------------
+
+func BenchmarkFig5_4_BackwardByK(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			tr := benchTrace(b, "msr-web", 1<<17, false)
+			prof := core.MustProfiler(core.Config{K: k, Seed: 1})
+			replay(b, tr, prof.Process)
+			b.ReportMetric(float64(prof.Stack().SwapSteps())/float64(prof.Stack().Updates()), "swaps/update")
+		})
+	}
+}
+
+// --- Table 5.4: merged master trace, KRR+spatial vs SHARDS -----------
+
+func masterTrace(b *testing.B) *trace.Trace {
+	return benchTrace(b, "msr-master", 1<<18, false)
+}
+
+func BenchmarkTable5_4_TopDownSpatial(b *testing.B) {
+	tr := masterTrace(b)
+	prof := core.MustProfiler(core.Config{K: 5, Method: core.TopDown, Seed: 1, SamplingRate: 0.01})
+	replay(b, tr, prof.Process)
+}
+
+func BenchmarkTable5_4_BackwardSpatial(b *testing.B) {
+	tr := masterTrace(b)
+	prof := core.MustProfiler(core.Config{K: 5, Method: core.Backward, Seed: 1, SamplingRate: 0.01})
+	replay(b, tr, prof.Process)
+}
+
+func BenchmarkTable5_4_SHARDS(b *testing.B) {
+	tr := masterTrace(b)
+	s := shards.NewFixedRate(0.01, 1, false)
+	replay(b, tr, s.Process)
+}
+
+// --- Fig 5.5: redislike engine throughput ----------------------------
+
+func BenchmarkFig5_5_RedisEngine(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		m    redislike.SamplingMode
+	}{{"someKeys", redislike.SampleSomeKeys}, {"randomKey", redislike.SampleRandomKey}} {
+		b.Run(mode.name, func(b *testing.B) {
+			tr := benchTrace(b, "msr-src2", 1<<17, false)
+			e := redislike.NewEngine(redislike.Config{MaxMemory: 4 << 20, Sampling: mode.m, Seed: 1})
+			replay(b, tr, func(r trace.Request) { e.Access(r) })
+		})
+	}
+}
+
+// --- §5.6 space: metadata per tracked object --------------------------
+
+func BenchmarkSpace_StackMetadata(b *testing.B) {
+	tr := benchTrace(b, "msr-proj", 1<<17, false)
+	prof := core.MustProfiler(core.Config{K: 5, Seed: 1})
+	replay(b, tr, prof.Process)
+	if n := prof.Stack().Len(); n > 0 {
+		b.ReportMetric(float64(prof.Stack().MemoryOverheadBytes())/float64(n), "B/object")
+	}
+}

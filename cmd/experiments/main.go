@@ -1,0 +1,113 @@
+// Command experiments reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run table5.1
+//	experiments -run all -scale 0.2 -out results
+//
+// Each experiment writes markdown (tables + ASCII figures + shape
+// notes) and, when -out is set, a CSV with every plotted series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"krr/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		run     = flag.String("run", "", "experiment ID, comma list, or 'all'")
+		scale   = flag.Float64("scale", 0.2, "workload key-space scale")
+		reqFrac = flag.Float64("reqfrac", 0.25, "fraction of each preset's default request count")
+		maxReq  = flag.Int("maxreq", 0, "hard cap on per-trace requests (0 = none)")
+		sizes   = flag.Int("sizes", 20, "simulated cache sizes per sweep")
+		perFam  = flag.Int("traces-per-family", 0, "truncate each workload family (0 = all)")
+		workers = flag.Int("workers", 0, "simulation parallelism (0 = GOMAXPROCS)")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		out     = flag.String("out", "", "output directory for markdown + CSV (default: stdout only)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-24s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -run required (or -list)")
+		os.Exit(2)
+	}
+	opt := experiments.Options{
+		Scale:           *scale,
+		ReqFraction:     *reqFrac,
+		MaxRequests:     *maxReq,
+		SimSizes:        *sizes,
+		TracesPerFamily: *perFam,
+		Workers:         *workers,
+		Seed:            *seed,
+	}
+	var ids []string
+	if *run == "all" {
+		ids = experiments.IDs()
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	failed := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		fmt.Fprintf(os.Stderr, "== running %s ...\n", id)
+		res, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			failed++
+			continue
+		}
+		if err := res.WriteMarkdown(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			base := strings.ReplaceAll(id, ".", "_")
+			mdPath := filepath.Join(*out, base+".md")
+			mdf, err := os.Create(mdPath)
+			if err != nil {
+				fatal(err)
+			}
+			res.WriteMarkdown(mdf)
+			mdf.Close()
+			csvPath := filepath.Join(*out, base+".csv")
+			csvf, err := os.Create(csvPath)
+			if err != nil {
+				fatal(err)
+			}
+			res.WriteCSV(csvf)
+			csvf.Close()
+			if err := res.WriteSVGs(func(name, svg string) error {
+				return os.WriteFile(filepath.Join(*out, name), []byte(svg), 0o644)
+			}); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "== wrote %s, %s and SVGs (%s)\n", mdPath, csvPath, res.Elapsed.Round(1e6))
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,176 @@
+// Command krrmrc constructs a miss ratio curve from a trace in one
+// pass, using the KRR model (for K-LRU caches), the Olken exact-LRU
+// stack, SHARDS, or brute-force simulation.
+//
+// Usage:
+//
+//	krrmrc -trace web.trace -k 10 -rate 0.001
+//	krrmrc -preset msr-web -n 500000 -k 5 -model krr -bytes sizearray
+//	krrmrc -preset ycsb-c-0.99 -model lru
+//	krrmrc -preset msr-src1 -model sim -k 5 -points 25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"krr/internal/core"
+	"krr/internal/mrc"
+	"krr/internal/olken"
+	"krr/internal/shards"
+	"krr/internal/simulator"
+	"krr/internal/trace"
+	"krr/internal/workload"
+)
+
+func main() {
+	var (
+		traceFile = flag.String("trace", "", "binary trace file (alternative to -preset)")
+		preset    = flag.String("preset", "", "workload preset name")
+		n         = flag.Int("n", 0, "request cap (0 = whole trace / preset default)")
+		scale     = flag.Float64("scale", 1.0, "preset key-space scale")
+		variable  = flag.Bool("var", false, "variable object sizes for presets")
+		model     = flag.String("model", "krr", "model: krr, lru, shards, sim, opt")
+		k         = flag.Int("k", 5, "K-LRU sampling size (krr and sim models)")
+		method    = flag.String("method", "backward", "krr update: backward, topdown, linear")
+		bytesMode = flag.String("bytes", "off", "byte distances: off, uniform, sizearray, fenwick")
+		rate      = flag.Float64("rate", 0, "spatial sampling rate (0 = off, krr/shards)")
+		points    = flag.Int("points", 25, "simulated sizes (sim model)")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		format    = flag.String("format", "csv", "output format: csv or json")
+		out       = flag.String("o", "", "output file (default: stdout)")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*traceFile, *preset, *n, *scale, *seed, *variable)
+	if err != nil {
+		fatal(err)
+	}
+	sum, err := trace.Summarize(tr.Reader())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "krrmrc: %d requests, %d distinct objects\n", sum.Requests, sum.DistinctObjects)
+
+	var curve *mrc.Curve
+	switch *model {
+	case "krr":
+		cfg := core.Config{K: *k, Seed: *seed, SamplingRate: *rate}
+		switch *method {
+		case "backward":
+			cfg.Method = core.Backward
+		case "topdown":
+			cfg.Method = core.TopDown
+		case "linear":
+			cfg.Method = core.Linear
+		default:
+			fatal(fmt.Errorf("unknown method %q", *method))
+		}
+		wantBytes := false
+		switch *bytesMode {
+		case "off":
+		case "uniform":
+			cfg.Bytes, wantBytes = core.BytesUniform, true
+		case "sizearray":
+			cfg.Bytes, wantBytes = core.BytesSizeArray, true
+		case "fenwick":
+			cfg.Bytes, wantBytes = core.BytesFenwick, true
+		default:
+			fatal(fmt.Errorf("unknown bytes mode %q", *bytesMode))
+		}
+		p, err := core.NewProfiler(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := p.ProcessAll(tr.Reader()); err != nil {
+			fatal(err)
+		}
+		if wantBytes {
+			curve = p.ByteMRC()
+		} else {
+			curve = p.ObjectMRC()
+		}
+	case "lru":
+		p := olken.NewProfiler(*seed)
+		if err := p.ProcessAll(tr.Reader()); err != nil {
+			fatal(err)
+		}
+		curve = p.ObjectMRC(1)
+	case "shards":
+		r := *rate
+		if r <= 0 {
+			r = 0.001
+		}
+		s := shards.NewFixedRate(r, *seed, true)
+		if err := s.ProcessAll(tr.Reader()); err != nil {
+			fatal(err)
+		}
+		curve = s.MRC()
+	case "sim":
+		sizes := mrc.EvenSizes(uint64(sum.DistinctObjects), *points)
+		curve, err = simulator.KLRUMRC(tr, *k, sizes, *seed, 0)
+		if err != nil {
+			fatal(err)
+		}
+	case "opt":
+		sizes := mrc.EvenSizes(uint64(sum.DistinctObjects), *points)
+		curve = simulator.OPTMRC(tr, sizes, 0)
+	default:
+		fatal(fmt.Errorf("unknown model %q", *model))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	ds := curve.Downsample(2000)
+	switch *format {
+	case "csv":
+		err = ds.WriteCSV(w)
+	case "json":
+		err = ds.WriteJSON(w)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func loadTrace(file, preset string, n int, scale float64, seed uint64, variable bool) (*trace.Trace, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		br, err := trace.NewBinaryReader(f)
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			return trace.Collect(br, n)
+		}
+		return trace.ReadAll(br)
+	}
+	p, ok := workload.ByName(preset)
+	if !ok {
+		return nil, fmt.Errorf("unknown preset %q and no -trace given", preset)
+	}
+	count := n
+	if count <= 0 {
+		count = p.DefaultRequests
+	}
+	return trace.Collect(p.New(scale, seed, variable), count)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "krrmrc: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"krr/internal/trace"
+)
+
+func TestLoadTraceFromPreset(t *testing.T) {
+	tr, err := loadTrace("", "zipf", 5000, 0.02, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 5000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestLoadTraceUnknownPreset(t *testing.T) {
+	if _, err := loadTrace("", "nope", 0, 1, 1, false); err == nil {
+		t.Fatal("unknown preset must error")
+	}
+}
+
+func TestLoadTraceFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	want := &trace.Trace{Reqs: []trace.Request{
+		{Key: 1, Size: 100, Op: trace.OpGet},
+		{Key: 2, Size: 200, Op: trace.OpSet},
+	}}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinary(f, want); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got, err := loadTrace(path, "", 0, 1, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Reqs[1].Size != 200 {
+		t.Fatalf("loaded %v", got.Reqs)
+	}
+	// Capped read.
+	head, err := loadTrace(path, "", 1, 1, 1, false)
+	if err != nil || head.Len() != 1 {
+		t.Fatalf("capped read: len=%d err=%v", head.Len(), err)
+	}
+}
+
+func TestLoadTraceMissingFile(t *testing.T) {
+	if _, err := loadTrace("/nonexistent/file", "", 0, 1, 1, false); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

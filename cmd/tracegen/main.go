@@ -1,0 +1,89 @@
+// Command tracegen generates synthetic cache traces from the built-in
+// workload presets (MSR-, YCSB- and Twitter-like substitutes) and
+// writes them in the binary or CSV trace format.
+//
+// Usage:
+//
+//	tracegen -list
+//	tracegen -preset msr-web -n 1000000 -scale 0.5 -o web.trace
+//	tracegen -preset tw-26.0 -var -format csv -o tw.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"krr/internal/trace"
+	"krr/internal/workload"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available presets and exit")
+		preset   = flag.String("preset", "", "workload preset name (see -list)")
+		n        = flag.Int("n", 0, "number of requests (0 = preset default)")
+		scale    = flag.Float64("scale", 1.0, "key-space scale factor")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		variable = flag.Bool("var", false, "variable object sizes (default: uniform 200 B)")
+		format   = flag.String("format", "bin", "output format: bin or csv")
+		out      = flag.String("o", "", "output file (default: stdout)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.Presets() {
+			typ := p.Type
+			if typ == "" {
+				typ = "-"
+			}
+			fmt.Printf("%-14s %-8s type=%-2s default=%-9d %s\n", p.Name, p.Family, typ, p.DefaultRequests, p.Description)
+		}
+		return
+	}
+	p, ok := workload.ByName(*preset)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown preset %q (try -list)\n", *preset)
+		os.Exit(1)
+	}
+	count := *n
+	if count <= 0 {
+		count = p.DefaultRequests
+	}
+	tr, err := trace.Collect(p.New(*scale, *seed, *variable), count)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "bin":
+		err = trace.WriteBinary(w, tr)
+	case "csv":
+		err = trace.WriteCSV(w, tr)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	sum, err := trace.Summarize(tr.Reader())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d requests, %d distinct objects, WSS %d bytes\n",
+		sum.Requests, sum.DistinctObjects, sum.WSSBytes)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command tracestat characterizes a trace: popularity skew, reuse
+// times, object sizes and operation mix — the §5.2-style workload
+// summary, for built-in presets and imported binary traces alike.
+//
+// Usage:
+//
+//	tracestat -preset msr-web -n 1000000
+//	tracestat -trace web.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"krr/internal/analysis"
+	"krr/internal/trace"
+	"krr/internal/workload"
+)
+
+func main() {
+	var (
+		traceFile = flag.String("trace", "", "binary trace file (alternative to -preset)")
+		preset    = flag.String("preset", "", "workload preset name")
+		n         = flag.Int("n", 0, "request cap (0 = whole trace / preset default)")
+		scale     = flag.Float64("scale", 1.0, "preset key-space scale")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		variable  = flag.Bool("var", false, "variable object sizes for presets")
+	)
+	flag.Parse()
+
+	r, err := openReader(*traceFile, *preset, *n, *scale, *seed, *variable)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
+		os.Exit(1)
+	}
+	rep, err := analysis.Analyze(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("requests            %d\n", rep.Requests)
+	fmt.Printf("distinct objects    %d\n", rep.DistinctObjects)
+	fmt.Printf("cold miss ratio     %.4f\n", rep.ColdMissRatio)
+	fmt.Printf("op mix              get %.3f / set %.3f / delete %.3f\n", rep.GetRatio, rep.SetRatio, rep.DeleteRatio)
+	fmt.Printf("popularity          top-1 %.3f, top-10 %.3f, top-100 %.3f of requests\n",
+		rep.TopShare1, rep.TopShare10, rep.TopShare100)
+	fmt.Printf("zipf alpha (fit)    %.3f\n", rep.ZipfAlphaFit)
+	fmt.Printf("reuse time p50/p90/p99   %d / %d / %d refs\n", rep.ReuseP50, rep.ReuseP90, rep.ReuseP99)
+	fmt.Printf("object size mean/median/max  %.1f / %d / %d bytes\n",
+		rep.MeanObjectSize, rep.MedianObjectSize, rep.MaxObjectSize)
+	fmt.Printf("total / WSS bytes   %d / %d\n", rep.TotalBytes, rep.WSSBytes)
+}
+
+func openReader(file, preset string, n int, scale float64, seed uint64, variable bool) (trace.Reader, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		// The process exits after analysis; the descriptor lives as
+		// long as we need it.
+		br, err := trace.NewBinaryReader(f)
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			return trace.LimitReader(br, n), nil
+		}
+		return br, nil
+	}
+	p, ok := workload.ByName(preset)
+	if !ok {
+		return nil, fmt.Errorf("unknown preset %q and no -trace given", preset)
+	}
+	count := n
+	if count <= 0 {
+		count = p.DefaultRequests
+	}
+	return trace.LimitReader(p.New(scale, seed, variable), count), nil
+}

@@ -1,0 +1,62 @@
+// Online MRC monitoring: the paper's motivating application (§1).
+// A production cache serves traffic while a KRR profiler with spatial
+// sampling shadows the stream at negligible cost. Periodically the
+// operator asks: *for my current memory budget, which eviction
+// sampling size K minimizes the miss ratio?* — the DLRU idea of
+// dynamically configuring Redis's maxmemory-samples.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"krr"
+)
+
+func main() {
+	// A Type A workload: loops and scans make the choice of K matter.
+	gen := krr.PresetReader("msr-web", 0.4, 11, false)
+
+	const budgetObjects = 30_000
+	candidateKs := []int{1, 2, 4, 8, 16, 32}
+
+	// One lightweight spatially-sampled profiler per candidate K —
+	// each tracks ~rate × distinct objects, cheap enough to run all
+	// six online.
+	rate := 0.05
+	profilers := map[int]*krr.Profiler{}
+	for _, k := range candidateKs {
+		p, err := krr.NewProfiler(krr.Config{K: k, Seed: 5, SamplingRate: rate})
+		if err != nil {
+			log.Fatal(err)
+		}
+		profilers[k] = p
+	}
+
+	const window = 300_000
+	fmt.Printf("shadow-profiling %d requests at sampling rate %.2g...\n\n", window, rate)
+	for i := 0; i < window; i++ {
+		req, err := gen.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// (A real deployment would serve the request here.)
+		for _, p := range profilers {
+			p.Process(req)
+		}
+	}
+
+	fmt.Printf("predicted miss ratio at a %d-object budget:\n", budgetObjects)
+	bestK, bestMiss := 0, 2.0
+	for _, k := range candidateKs {
+		miss := profilers[k].ObjectMRC().Eval(budgetObjects)
+		marker := ""
+		if miss < bestMiss {
+			bestK, bestMiss = k, miss
+			marker = ""
+		}
+		fmt.Printf("  K = %2d -> %.4f%s\n", k, miss, marker)
+	}
+	fmt.Printf("\nrecommended maxmemory-samples: %d (predicted miss ratio %.4f)\n", bestK, bestMiss)
+	fmt.Println("profiler footprint:", profilers[bestK].Stack().MemoryOverheadBytes(), "bytes of metadata")
+}

@@ -1,0 +1,73 @@
+// Variable object sizes: compare the uniform-size assumption
+// ("uni-KRR") against the size-aware var-KRR model (§4.4.1) on a
+// block workload whose I/O sizes correlate with the address region —
+// a hot metadata region of 512-byte blocks amid 64 KiB sequential
+// stripes — validating both against a byte-capacity K-LRU simulation.
+//
+// This is the Fig 5.3(A) situation: the size distribution *along the
+// stack* differs from the global mean, so uni-KRR's byte distances
+// are systematically wrong while var-KRR's sizeArray tracks them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"krr"
+	"krr/internal/simulator"
+	"krr/internal/workload"
+)
+
+func main() {
+	const k = 8
+	gen := workload.NewMSRLike(7, workload.MSRParams{
+		Blocks:    45_000,
+		HotWeight: 0.5, SeqWeight: 0.2, LoopWeight: 0.3,
+		HotFraction: 0.1, HotAlpha: 1.0,
+		SeqRunMean: 192, LoopLen: 18_000, LoopRepeats: 3,
+		Sizes: workload.AddressSize{
+			Boundary: 4_500,
+			Below:    workload.FixedSize(512),    // hot metadata region
+			Above:    workload.FixedSize(65_536), // cold data stripes
+		},
+	})
+	tr, err := krr.Collect(gen, 400_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	build := func(mode krr.ByteMode) *krr.Curve {
+		p, err := krr.NewProfiler(krr.Config{K: k, Seed: 1, Bytes: mode})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.ProcessAll(tr.Reader()); err != nil {
+			log.Fatal(err)
+		}
+		return p.ByteMRC()
+	}
+	uni := build(krr.BytesUniform)
+	vark := build(krr.BytesSizeArray)
+
+	// Ground truth: byte-capacity K-LRU simulation across the working
+	// set, with extra resolution at small sizes where the hot region
+	// lives.
+	wss := vark.WSS()
+	var sizes []uint64
+	for _, f := range []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0} {
+		sizes = append(sizes, uint64(float64(wss)*f))
+	}
+	truth, err := simulator.KLRUByteMRC(tr, k, sizes, 3, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("byte-capacity K-LRU (K=%d), region-correlated block sizes\n\n", k)
+	fmt.Println("cache bytes | simulated | uni-KRR | var-KRR")
+	for _, s := range sizes {
+		fmt.Printf("%11d | %9.4f | %7.4f | %7.4f\n", s, truth.Eval(s), uni.Eval(s), vark.Eval(s))
+	}
+	fmt.Printf("\nMAE uni-KRR: %.4f\nMAE var-KRR: %.4f\n",
+		krr.MAE(uni, truth, sizes), krr.MAE(vark, truth, sizes))
+	fmt.Println("\nvar-KRR's sizeArray (Algorithm 3) tracks byte distances that the uniform assumption misestimates.")
+}

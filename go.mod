@@ -1,0 +1,3 @@
+module krr
+
+go 1.22

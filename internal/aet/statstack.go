@@ -1,0 +1,64 @@
+package aet
+
+import (
+	"krr/internal/histogram"
+	"krr/internal/mrc"
+)
+
+// StatStackMRC derives the exact-LRU curve from the same reuse-time
+// histogram with the StatStack estimator (Eklov & Hagersten, ISPASS
+// '10, §6.1): instead of solving the eviction-time equation, it
+// converts each reuse time r into an *expected stack distance*
+//
+//	D(r) = Σ_{k=1..r} P(rt > k)
+//
+// — the expected number of the r intervening references whose own
+// reuse reaches past the window, i.e. the expected count of distinct
+// other objects inside the interval — and accumulates a stack distance
+// histogram from which the MRC follows as usual.
+//
+// AET and StatStack agree asymptotically; their finite-trace
+// estimates differ, which makes the pair a useful cross-check.
+func (m *Monitor) StatStackMRC() *mrc.Curve {
+	total := float64(m.References())
+	if total == 0 {
+		return &mrc.Curve{Sizes: []uint64{0}, Miss: []float64{1}, Interp: mrc.InterpStep}
+	}
+
+	// First pass over the reuse-time histogram: build D(r) breakpoints
+	// cumulatively. P(rt > k) is piecewise constant between recorded
+	// reuse times, so D grows linearly within each bucket.
+	type seg struct {
+		r     uint64  // reuse time at the bucket boundary
+		d     float64 // D(r) at the boundary
+		count uint64  // references with this reuse time
+	}
+	greater := float64(m.reuses + m.cold)
+	var segs []seg
+	var dAcc float64
+	var lastR uint64
+	m.hist.Buckets(func(r, count uint64) {
+		p := greater / total
+		dAcc += p * float64(r-lastR)
+		lastR = r
+		greater -= float64(count)
+		segs = append(segs, seg{r: r, d: dAcc, count: count})
+	})
+
+	// Second pass: every reference with reuse time r has expected
+	// stack distance D(r); cold references are infinite.
+	sdh := histogram.NewLog()
+	for _, s := range segs {
+		d := uint64(s.d + 0.5)
+		if d == 0 {
+			d = 1
+		}
+		for i := uint64(0); i < s.count; i++ {
+			sdh.Add(d)
+		}
+	}
+	for i := uint64(0); i < m.cold; i++ {
+		sdh.AddCold()
+	}
+	return mrc.FromHistogram(sdh, 1)
+}

@@ -1,0 +1,61 @@
+package aet
+
+import (
+	"testing"
+
+	"krr/internal/mrc"
+	"krr/internal/olken"
+	"krr/internal/trace"
+	"krr/internal/workload"
+)
+
+func TestStatStackLoopExact(t *testing.T) {
+	const m = 300
+	mon := New(0)
+	g := workload.NewLoop(m, nil)
+	mon.ProcessAll(trace.LimitReader(g, m*20))
+	c := mon.StatStackMRC()
+	if c.Eval(m/2) < 0.9 {
+		t.Fatalf("miss(M/2) = %v, want ~1", c.Eval(m/2))
+	}
+	if c.Eval(m+2) > 0.1 {
+		t.Fatalf("miss(M) = %v, want ~cold", c.Eval(m+2))
+	}
+}
+
+func TestStatStackMatchesExactLRU(t *testing.T) {
+	g := workload.NewZipf(11, 20000, 0.9, nil, 0)
+	tr, _ := trace.Collect(g, 300000)
+	mon := New(0)
+	mon.ProcessAll(tr.Reader())
+	model := mon.StatStackMRC()
+
+	exact := olken.NewProfiler(1)
+	exact.ProcessAll(tr.Reader())
+	truth := exact.ObjectMRC(1)
+
+	sizes := mrc.EvenSizes(20000, 25)
+	if mae := mrc.MAE(model, truth, sizes); mae > 0.03 {
+		t.Fatalf("StatStack vs exact LRU MAE %v", mae)
+	}
+}
+
+func TestStatStackAgreesWithAET(t *testing.T) {
+	// Two estimators over one histogram must agree closely.
+	g := workload.NewMSRLike(5, workload.MSRParams{
+		Blocks: 6000, HotWeight: 0.6, SeqWeight: 0.2, LoopWeight: 0.2,
+		LoopLen: 1500, LoopRepeats: 2,
+	})
+	mon := New(0)
+	mon.ProcessAll(trace.LimitReader(g, 150000))
+	sizes := mrc.EvenSizes(6000, 20)
+	if mae := mrc.MAE(mon.MRC(), mon.StatStackMRC(), sizes); mae > 0.03 {
+		t.Fatalf("AET vs StatStack MAE %v", mae)
+	}
+}
+
+func TestStatStackEmpty(t *testing.T) {
+	if New(0).StatStackMRC().Eval(5) != 1 {
+		t.Fatal("empty monitor must be all-miss")
+	}
+}

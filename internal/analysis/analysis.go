@@ -1,0 +1,193 @@
+// Package analysis characterizes request traces: popularity skew
+// (Zipf exponent fit, head concentration), reuse-time percentiles,
+// object-size distribution and operation mix. The workload chapter of
+// the paper (§5.2) summarizes its traces with exactly these
+// statistics; the tracestat tool exposes them for synthetic and
+// imported traces alike, and the tests pin the synthetic generators
+// to their intended shapes.
+package analysis
+
+import (
+	"errors"
+	"io"
+	"math"
+	"sort"
+
+	"krr/internal/histogram"
+	"krr/internal/trace"
+)
+
+// Report is a trace characterization.
+type Report struct {
+	Requests        int
+	DistinctObjects int
+	ColdMissRatio   float64
+
+	// Operation mix.
+	GetRatio, SetRatio, DeleteRatio float64
+
+	// Popularity.
+	TopShare1    float64 // share of requests to the hottest key
+	TopShare10   float64
+	TopShare100  float64
+	ZipfAlphaFit float64 // -slope of the log-log rank-frequency fit
+
+	// Reuse times (in references; only re-references counted).
+	ReuseP50, ReuseP90, ReuseP99 uint64
+
+	// Sizes (per distinct object, first-seen size).
+	MeanObjectSize   float64
+	MedianObjectSize uint32
+	MaxObjectSize    uint32
+	TotalBytes       uint64
+	WSSBytes         uint64
+}
+
+// Analyze characterizes a full request stream.
+func Analyze(r trace.Reader) (Report, error) {
+	var rep Report
+	counts := make(map[uint64]uint64)
+	lastSeen := make(map[uint64]uint64)
+	firstSize := make(map[uint64]uint32)
+	reuse := histogram.NewLog()
+	var clock uint64
+	var gets, sets, dels int
+
+	for {
+		req, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return rep, err
+		}
+		clock++
+		rep.Requests++
+		rep.TotalBytes += uint64(req.Size)
+		switch req.Op {
+		case trace.OpDelete:
+			dels++
+			delete(lastSeen, req.Key)
+			continue
+		case trace.OpSet:
+			sets++
+		default:
+			gets++
+		}
+		counts[req.Key]++
+		if last, ok := lastSeen[req.Key]; ok {
+			reuse.Add(clock - last)
+		}
+		lastSeen[req.Key] = clock
+		if _, ok := firstSize[req.Key]; !ok {
+			firstSize[req.Key] = req.Size
+			rep.WSSBytes += uint64(req.Size)
+		}
+	}
+	if rep.Requests == 0 {
+		return rep, nil
+	}
+	n := float64(rep.Requests)
+	rep.GetRatio = float64(gets) / n
+	rep.SetRatio = float64(sets) / n
+	rep.DeleteRatio = float64(dels) / n
+	rep.DistinctObjects = len(firstSize)
+	rep.ColdMissRatio = float64(len(firstSize)) / n
+
+	// Popularity: rank-frequency.
+	freqs := make([]uint64, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Slice(freqs, func(i, j int) bool { return freqs[i] > freqs[j] })
+	accessed := float64(gets + sets)
+	share := func(top int) float64 {
+		var s uint64
+		for i := 0; i < top && i < len(freqs); i++ {
+			s += freqs[i]
+		}
+		if accessed == 0 {
+			return 0
+		}
+		return float64(s) / accessed
+	}
+	rep.TopShare1 = share(1)
+	rep.TopShare10 = share(10)
+	rep.TopShare100 = share(100)
+	rep.ZipfAlphaFit = zipfFit(freqs)
+
+	// Reuse percentiles from the log histogram.
+	rep.ReuseP50 = histPercentile(reuse, 0.50)
+	rep.ReuseP90 = histPercentile(reuse, 0.90)
+	rep.ReuseP99 = histPercentile(reuse, 0.99)
+
+	// Sizes.
+	sizes := make([]uint32, 0, len(firstSize))
+	var sizeSum float64
+	for _, s := range firstSize {
+		sizes = append(sizes, s)
+		sizeSum += float64(s)
+		if s > rep.MaxObjectSize {
+			rep.MaxObjectSize = s
+		}
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	rep.MeanObjectSize = sizeSum / float64(len(sizes))
+	rep.MedianObjectSize = sizes[len(sizes)/2]
+	return rep, nil
+}
+
+// zipfFit estimates the Zipf exponent by least-squares regression of
+// log(frequency) on log(rank) over the informative head (ranks up to
+// 1000, frequencies > 1).
+func zipfFit(sortedFreqs []uint64) float64 {
+	var xs, ys []float64
+	for i, f := range sortedFreqs {
+		if i >= 1000 || f <= 1 {
+			break
+		}
+		xs = append(xs, math.Log(float64(i+1)))
+		ys = append(ys, math.Log(float64(f)))
+	}
+	if len(xs) < 3 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	n := float64(len(xs))
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0
+	}
+	slope := (n*sxy - sx*sy) / denom
+	return -slope
+}
+
+// histPercentile returns the p-quantile distance of a log histogram.
+func histPercentile(h *histogram.Log, p float64) uint64 {
+	total := h.Total() - h.Cold()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(p * float64(total))
+	var cum, result uint64
+	h.Buckets(func(d, c uint64) {
+		if cum < target {
+			result = d
+		}
+		cum += c
+	})
+	if result == 0 {
+		h.Buckets(func(d, _ uint64) {
+			if result == 0 {
+				result = d
+			}
+		})
+	}
+	return result
+}

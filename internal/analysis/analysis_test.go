@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"krr/internal/trace"
+	"krr/internal/workload"
+)
+
+func analyzePreset(t *testing.T, name string, n int, variable bool) Report {
+	t.Helper()
+	p, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("missing preset %s", name)
+	}
+	rep, err := Analyze(trace.LimitReader(p.New(0.05, 3, variable), n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestEmptyTrace(t *testing.T) {
+	rep, err := Analyze((&trace.Trace{}).Reader())
+	if err != nil || rep.Requests != 0 {
+		t.Fatalf("%+v %v", rep, err)
+	}
+}
+
+func TestZipfAlphaRecovered(t *testing.T) {
+	// The fitted exponent must recover the generator's alpha within a
+	// reasonable band.
+	for _, alpha := range []float64{0.8, 1.2} {
+		g := workload.NewZipf(7, 50000, alpha, nil, 0)
+		rep, err := Analyze(trace.LimitReader(g, 400000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rep.ZipfAlphaFit-alpha) > 0.25 {
+			t.Fatalf("alpha %v fitted as %v", alpha, rep.ZipfAlphaFit)
+		}
+	}
+}
+
+func TestSkewOrdering(t *testing.T) {
+	// Higher alpha -> larger head share.
+	low := analyzeZipf(t, 0.6)
+	high := analyzeZipf(t, 1.4)
+	if low.TopShare10 >= high.TopShare10 {
+		t.Fatalf("head share not ordered: %v vs %v", low.TopShare10, high.TopShare10)
+	}
+	if !(high.TopShare1 < high.TopShare10 && high.TopShare10 < high.TopShare100) {
+		t.Fatalf("shares not nested: %+v", high)
+	}
+}
+
+func analyzeZipf(t *testing.T, alpha float64) Report {
+	t.Helper()
+	g := workload.NewZipf(7, 20000, alpha, nil, 0)
+	rep, err := Analyze(trace.LimitReader(g, 200000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestLoopReusePercentiles(t *testing.T) {
+	// Every reuse time in a loop over M equals M.
+	const m = 1000
+	g := workload.NewLoop(m, nil)
+	rep, err := Analyze(trace.LimitReader(g, m*10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []uint64{rep.ReuseP50, rep.ReuseP90, rep.ReuseP99} {
+		if float64(p) < m*0.95 || float64(p) > m*1.05 {
+			t.Fatalf("loop reuse percentile %d, want ~%d", p, m)
+		}
+	}
+}
+
+func TestOperationMix(t *testing.T) {
+	tr := &trace.Trace{Reqs: []trace.Request{
+		{Key: 1, Size: 1, Op: trace.OpGet},
+		{Key: 1, Size: 1, Op: trace.OpGet},
+		{Key: 2, Size: 1, Op: trace.OpSet},
+		{Key: 1, Size: 1, Op: trace.OpDelete},
+	}}
+	rep, err := Analyze(tr.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GetRatio != 0.5 || rep.SetRatio != 0.25 || rep.DeleteRatio != 0.25 {
+		t.Fatalf("mix %+v", rep)
+	}
+}
+
+func TestSizeStatistics(t *testing.T) {
+	rep := analyzePreset(t, "tw-26.0", 100000, true)
+	if rep.MeanObjectSize <= 0 || rep.MaxObjectSize == 0 {
+		t.Fatalf("size stats empty: %+v", rep)
+	}
+	if rep.MedianObjectSize > rep.MaxObjectSize {
+		t.Fatal("median above max")
+	}
+	// Lognormal sizes: mean above median.
+	if rep.MeanObjectSize < float64(rep.MedianObjectSize) {
+		t.Fatalf("heavy tail missing: mean %v median %d", rep.MeanObjectSize, rep.MedianObjectSize)
+	}
+	fixed := analyzePreset(t, "tw-26.0", 50000, false)
+	if fixed.MeanObjectSize != trace.DefaultObjectSize {
+		t.Fatalf("fixed variant mean size %v", fixed.MeanObjectSize)
+	}
+}
+
+func TestColdAndWSS(t *testing.T) {
+	rep := analyzePreset(t, "zipf", 100000, false)
+	if rep.ColdMissRatio <= 0 || rep.ColdMissRatio >= 1 {
+		t.Fatalf("cold ratio %v", rep.ColdMissRatio)
+	}
+	if rep.WSSBytes != uint64(rep.DistinctObjects)*trace.DefaultObjectSize {
+		t.Fatalf("WSS %d inconsistent with %d objects", rep.WSSBytes, rep.DistinctObjects)
+	}
+}
+
+func TestMSRPresetsShapeSanity(t *testing.T) {
+	// Type B presets (hotspot heavy) must concentrate more traffic in
+	// the head than scan-heavy Type A presets at equal scale.
+	typeA := analyzePreset(t, "msr-stg", 150000, false)
+	typeB := analyzePreset(t, "msr-prxy", 150000, false)
+	if typeB.TopShare100 <= typeA.TopShare100 {
+		t.Fatalf("hotspot preset head share %v not above scan preset %v",
+			typeB.TopShare100, typeA.TopShare100)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestSwapJointDistributionEquality verifies that the three samplers
+// draw swap *sets* (not just per-position marginals) from the same
+// joint distribution. For φ = 6 the interior is positions 2..5 — 16
+// possible subsets — small enough to compare full empirical
+// distributions against the analytic product of independent
+// Bernoullis, P(S) = Π_{i∈S} p_i · Π_{i∉S} (1−p_i) with
+// p_i = 1 − ((i−1)/i)^K′.
+func TestSwapJointDistributionEquality(t *testing.T) {
+	const phi = 6
+	const kPrime = 2.5
+	const trials = 300000
+
+	pSwap := func(i int) float64 {
+		return 1 - math.Pow(float64(i-1)/float64(i), kPrime)
+	}
+	analytic := map[string]float64{}
+	for mask := 0; mask < 16; mask++ {
+		p := 1.0
+		key := ""
+		for bit := 0; bit < 4; bit++ {
+			pos := bit + 2
+			if mask&(1<<bit) != 0 {
+				p *= pSwap(pos)
+				key += fmt.Sprintf("%d,", pos)
+			} else {
+				p *= 1 - pSwap(pos)
+			}
+		}
+		analytic[key] = p
+	}
+
+	for _, m := range []UpdateMethod{Backward, TopDown, Linear} {
+		s := NewStack(kPrime, 1234+uint64(m), WithMethod(m))
+		fillStack(s, phi)
+		counts := map[string]int{}
+		for trial := 0; trial < trials; trial++ {
+			switch m {
+			case Backward:
+				s.buildChainBackward(phi)
+			case TopDown:
+				s.buildChainTopDown(phi)
+			default:
+				s.buildChainLinear(phi)
+			}
+			key := ""
+			for _, v := range s.chain {
+				if v > 1 && v < phi {
+					key += fmt.Sprintf("%d,", v)
+				}
+			}
+			counts[key]++
+		}
+		for key, want := range analytic {
+			got := float64(counts[key]) / trials
+			if math.Abs(got-want) > 0.006 {
+				t.Fatalf("%v: subset {%s} frequency %.4f, analytic %.4f", m, key, got, want)
+			}
+		}
+	}
+}

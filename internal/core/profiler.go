@@ -1,0 +1,245 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"krr/internal/histogram"
+	"krr/internal/mrc"
+	"krr/internal/sampling"
+	"krr/internal/trace"
+)
+
+// ByteMode selects how byte-granularity distances are produced.
+type ByteMode uint8
+
+// Byte modes.
+const (
+	// BytesOff records object-granularity distances only.
+	BytesOff ByteMode = iota
+	// BytesUniform estimates byte distances as φ × mean object size —
+	// the uniform-size assumption ("uni-KRR", §5.4) that var-KRR is
+	// evaluated against.
+	BytesUniform
+	// BytesSizeArray uses the paper's logarithmic sizeArray
+	// (Algorithm 3) — "var-KRR".
+	BytesSizeArray
+	// BytesFenwick uses the exact Fenwick byte tracker.
+	BytesFenwick
+)
+
+// String names the mode.
+func (m ByteMode) String() string {
+	switch m {
+	case BytesOff:
+		return "off"
+	case BytesUniform:
+		return "uniform"
+	case BytesSizeArray:
+		return "sizearray"
+	case BytesFenwick:
+		return "fenwick"
+	default:
+		return "bytemode?"
+	}
+}
+
+// Config assembles a KRR profiler.
+type Config struct {
+	// K is the K-LRU sampling size being modeled. Must be >= 1.
+	K int
+	// KPrime overrides the stack exponent; 0 applies the paper's
+	// K′ = K^1.4 correction (§4.2). Set to float64(K) to ablate the
+	// correction.
+	KPrime float64
+	// Method selects the update sampler (default Backward).
+	Method UpdateMethod
+	// Bytes selects byte-granularity distance handling.
+	Bytes ByteMode
+	// SamplingRate applies SHARDS-style spatial sampling when in
+	// (0, 1); 0 or 1 disables it (§2.4).
+	SamplingRate float64
+	// Seed fixes all randomness.
+	Seed uint64
+}
+
+func (c Config) kPrime() float64 {
+	if c.KPrime > 0 {
+		return c.KPrime
+	}
+	return KPrimeFor(c.K)
+}
+
+func (c Config) validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("core: config K = %d, must be >= 1", c.K)
+	}
+	if c.SamplingRate < 0 || c.SamplingRate > 1 {
+		return fmt.Errorf("core: sampling rate %v out of [0, 1]", c.SamplingRate)
+	}
+	return nil
+}
+
+// Profiler builds K-LRU miss ratio curves in one pass (§4), optionally
+// under spatial sampling. A Profiler is not safe for concurrent use;
+// shard the stream or serialize Process calls externally.
+type Profiler struct {
+	cfg    Config
+	stack  *Stack
+	filter *sampling.Filter
+
+	objHist  *histogram.Dense
+	byteHist *histogram.Log
+
+	seen    uint64 // pre-filter request count
+	sampled uint64
+}
+
+// NewProfiler builds a profiler from cfg.
+func NewProfiler(cfg Config) (*Profiler, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	opts := []Option{WithMethod(cfg.Method)}
+	switch cfg.Bytes {
+	case BytesSizeArray:
+		opts = append(opts, WithSizeArray())
+	case BytesFenwick:
+		opts = append(opts, WithFenwick())
+	}
+	p := &Profiler{
+		cfg:     cfg,
+		stack:   NewStack(cfg.kPrime(), cfg.Seed, opts...),
+		objHist: histogram.NewDense(1024),
+	}
+	if cfg.Bytes != BytesOff {
+		p.byteHist = histogram.NewLog()
+	}
+	if cfg.SamplingRate > 0 && cfg.SamplingRate < 1 {
+		p.filter = sampling.NewRate(cfg.SamplingRate)
+	}
+	return p, nil
+}
+
+// MustProfiler is NewProfiler, panicking on config errors; for tests
+// and examples with static configs.
+func MustProfiler(cfg Config) *Profiler {
+	p, err := NewProfiler(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Config returns the profiler's configuration.
+func (p *Profiler) Config() Config { return p.cfg }
+
+// Stack exposes the underlying KRR stack.
+func (p *Profiler) Stack() *Stack { return p.stack }
+
+// Seen returns the number of requests offered (before sampling).
+func (p *Profiler) Seen() uint64 { return p.seen }
+
+// Sampled returns the number of requests admitted by the filter.
+func (p *Profiler) Sampled() uint64 { return p.sampled }
+
+// Process feeds one request.
+func (p *Profiler) Process(req trace.Request) {
+	p.seen++
+	if p.filter != nil && !p.filter.Sampled(req.Key) {
+		return
+	}
+	p.sampled++
+	if req.Op == trace.OpDelete {
+		p.stack.Delete(req.Key)
+		return
+	}
+	res := p.stack.Reference(req.Key, req.Size)
+	if res.Cold {
+		p.objHist.AddCold()
+		if p.byteHist != nil {
+			p.byteHist.AddCold()
+		}
+		return
+	}
+	p.objHist.Add(res.Distance)
+	if p.byteHist == nil {
+		return
+	}
+	switch p.cfg.Bytes {
+	case BytesUniform:
+		p.byteHist.Add(p.stack.UniformByteDistance(res.Distance))
+	default:
+		p.byteHist.Add(res.ByteDistance)
+	}
+}
+
+// ProcessAll drains a reader.
+func (p *Profiler) ProcessAll(r trace.Reader) error {
+	for {
+		req, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		p.Process(req)
+	}
+}
+
+// scale converts sampled distances back to full-trace cache sizes.
+func (p *Profiler) scale() float64 {
+	if p.filter == nil {
+		return 1
+	}
+	return 1 / p.filter.Rate()
+}
+
+// ObjectMRC returns the modeled K-LRU miss ratio curve over
+// object-count cache sizes.
+func (p *Profiler) ObjectMRC() *mrc.Curve {
+	return mrc.FromHistogram(p.objHist, p.scale())
+}
+
+// ByteMRC returns the modeled curve over byte cache sizes. It panics
+// if the profiler was built with BytesOff.
+func (p *Profiler) ByteMRC() *mrc.Curve {
+	if p.byteHist == nil {
+		panic("core: ByteMRC on a BytesOff profiler")
+	}
+	return mrc.FromHistogram(p.byteHist, p.scale())
+}
+
+// ObjHist exposes the object histogram.
+func (p *Profiler) ObjHist() *histogram.Dense { return p.objHist }
+
+// ByteHist exposes the byte histogram (nil when BytesOff).
+func (p *Profiler) ByteHist() *histogram.Log { return p.byteHist }
+
+// ResetHistograms clears the recorded distance distributions while
+// keeping the stack (and thus the modeled cache state) intact. Online
+// monitors call this at window boundaries so each window's MRC
+// reflects recent traffic rather than the whole history — the stack
+// carries the warm state across windows, exactly like the live cache
+// it models.
+func (p *Profiler) ResetHistograms() {
+	p.objHist = histogram.NewDense(1024)
+	if p.byteHist != nil {
+		p.byteHist = histogram.NewLog()
+	}
+}
+
+// BuildMRC is the one-call convenience: model a K-LRU cache over a
+// reader and return the object-granularity curve.
+func BuildMRC(r trace.Reader, cfg Config) (*mrc.Curve, error) {
+	p, err := NewProfiler(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ProcessAll(r); err != nil {
+		return nil, err
+	}
+	return p.ObjectMRC(), nil
+}

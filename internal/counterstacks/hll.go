@@ -1,0 +1,68 @@
+// Package counterstacks implements a compact Counter Stacks model
+// (Wires et al., OSDI '14), the third exact-LRU MRC baseline from the
+// paper's related work (§6.1): the LRU stack distance of a reference
+// is the number of distinct keys seen since its previous occurrence,
+// so a set of probabilistic cardinality counters started at staggered
+// times recovers the whole stack-distance distribution from counter
+// increments alone — no stack, no per-object metadata.
+package counterstacks
+
+import "math"
+
+const (
+	// 2^14 registers, ~0.8% standard error. Counter Stacks subtracts
+	// estimates taken one batch apart, so the counters' absolute noise
+	// must stay small relative to the per-batch increment; the extra
+	// registers (16 KiB/counter) buy that headroom.
+	hllPrecision = 14
+	hllRegisters = 1 << hllPrecision
+)
+
+// hll is a HyperLogLog cardinality counter over 64-bit hashes.
+type hll struct {
+	registers [hllRegisters]uint8
+}
+
+// add folds one (already well-mixed) hash into the sketch.
+func (h *hll) add(hash uint64) {
+	idx := hash >> (64 - hllPrecision)
+	rest := hash<<hllPrecision | 1<<(hllPrecision-1) // guard bit keeps rho <= 64-p+1
+	rho := uint8(1)
+	for rest&(1<<63) == 0 {
+		rho++
+		rest <<= 1
+	}
+	if rho > h.registers[idx] {
+		h.registers[idx] = rho
+	}
+}
+
+// estimate returns the approximate cardinality with the standard
+// HyperLogLog bias corrections (small-range linear counting).
+func (h *hll) estimate() float64 {
+	const m = float64(hllRegisters)
+	alpha := 0.7213 / (1 + 1.079/m)
+	var sum float64
+	zeros := 0
+	for _, r := range h.registers {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	e := alpha * m * m / sum
+	if e <= 2.5*m && zeros > 0 {
+		// Linear counting for the small range.
+		e = m * math.Log(m/float64(zeros))
+	}
+	return e
+}
+
+// merge folds other into h (register-wise max).
+func (h *hll) merge(other *hll) {
+	for i := range h.registers {
+		if other.registers[i] > h.registers[i] {
+			h.registers[i] = other.registers[i]
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package dlru implements a DLRU-style controller (Wang, Yang & Wang,
+// MEMSYS '20 — the paper's motivating application, §1): because
+// random sampling-based eviction has no rigid ordering structure, the
+// sampling size K can be reconfigured online, and KRR makes the
+// decision cheap — one spatially-sampled shadow profiler per candidate
+// K predicts the miss ratio the production cache *would* have at its
+// current budget, and the controller switches the live cache to the
+// argmin.
+package dlru
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"krr/internal/core"
+	"krr/internal/trace"
+)
+
+// Tunable is the control surface of a live cache whose eviction sampling
+// size can change online (e.g. *simulator.KLRU, or a Redis CONFIG SET
+// maxmemory-samples adapter).
+type Tunable interface {
+	Access(req trace.Request) bool
+	SetSamplingSize(k int)
+}
+
+// Decision records one controller evaluation.
+type Decision struct {
+	// AtRequest is the request count when the decision was taken.
+	AtRequest uint64
+	// ChosenK is the selected sampling size.
+	ChosenK int
+	// Predicted maps each candidate K to its predicted miss ratio.
+	Predicted map[int]float64
+	// Switched reports whether the live cache was reconfigured.
+	Switched bool
+}
+
+// Config assembles a Controller.
+type Config struct {
+	// BudgetObjects is the live cache's capacity in objects — the
+	// point on each candidate's MRC that is compared.
+	BudgetObjects uint64
+	// Candidates are the sampling sizes considered (default
+	// 1,2,4,8,16,32).
+	Candidates []int
+	// Window is the number of requests between decisions (default
+	// 100k).
+	Window int
+	// SamplingRate is the shadow profilers' spatial sampling rate
+	// (default 0.01).
+	SamplingRate float64
+	// MinImprovement is the miss-ratio margin a new K must win by
+	// before the controller switches (hysteresis, default 0.005).
+	MinImprovement float64
+	// Seed fixes profiler randomness.
+	Seed uint64
+}
+
+func (c *Config) fill() error {
+	if c.BudgetObjects == 0 {
+		return errors.New("dlru: BudgetObjects required")
+	}
+	if len(c.Candidates) == 0 {
+		c.Candidates = []int{1, 2, 4, 8, 16, 32}
+	}
+	for _, k := range c.Candidates {
+		if k < 1 {
+			return fmt.Errorf("dlru: candidate K %d invalid", k)
+		}
+	}
+	if c.Window <= 0 {
+		c.Window = 100_000
+	}
+	if c.SamplingRate <= 0 || c.SamplingRate > 1 {
+		c.SamplingRate = 0.01
+	}
+	if c.MinImprovement < 0 {
+		c.MinImprovement = 0.005
+	}
+	return nil
+}
+
+// Controller shadows a request stream with one KRR profiler per
+// candidate K and periodically reconfigures the attached cache.
+type Controller struct {
+	cfg       Config
+	cache     Tunable // may be nil (advisory mode)
+	profilers map[int]*core.Profiler
+	count     uint64
+	currentK  int
+	decisions []Decision
+}
+
+// New builds a controller driving cache (nil for advisory-only use).
+// The live cache starts at the first candidate.
+func New(cfg Config, cache Tunable) (*Controller, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	ctl := &Controller{cfg: cfg, cache: cache, profilers: make(map[int]*core.Profiler)}
+	for i, k := range cfg.Candidates {
+		rate := cfg.SamplingRate
+		p, err := core.NewProfiler(core.Config{K: k, Seed: cfg.Seed + uint64(i)*131, SamplingRate: rate})
+		if err != nil {
+			return nil, err
+		}
+		ctl.profilers[k] = p
+	}
+	ctl.currentK = cfg.Candidates[0]
+	if cache != nil {
+		cache.SetSamplingSize(ctl.currentK)
+	}
+	return ctl, nil
+}
+
+// CurrentK returns the sampling size currently in force.
+func (c *Controller) CurrentK() int { return c.currentK }
+
+// Decisions returns the decision log.
+func (c *Controller) Decisions() []Decision { return c.decisions }
+
+// Predictions returns each candidate's current predicted miss ratio
+// at the configured budget.
+func (c *Controller) Predictions() map[int]float64 {
+	out := make(map[int]float64, len(c.profilers))
+	for k, p := range c.profilers {
+		out[k] = p.ObjectMRC().Eval(c.cfg.BudgetObjects)
+	}
+	return out
+}
+
+// Process forwards one request to the live cache (if any) and the
+// shadow profilers, reconfiguring at window boundaries. It returns
+// the live cache's hit result (false in advisory mode).
+func (c *Controller) Process(req trace.Request) bool {
+	hit := false
+	if c.cache != nil {
+		hit = c.cache.Access(req)
+	}
+	for _, p := range c.profilers {
+		p.Process(req)
+	}
+	c.count++
+	if c.count%uint64(c.cfg.Window) == 0 {
+		c.decide()
+	}
+	return hit
+}
+
+// ProcessAll drains a reader.
+func (c *Controller) ProcessAll(r trace.Reader) error {
+	for {
+		req, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		c.Process(req)
+	}
+}
+
+func (c *Controller) decide() {
+	pred := c.Predictions()
+	bestK, bestMiss := c.currentK, pred[c.currentK]
+	for _, k := range c.cfg.Candidates {
+		if pred[k] < bestMiss {
+			bestK, bestMiss = k, pred[k]
+		}
+	}
+	switched := false
+	if bestK != c.currentK && pred[c.currentK]-bestMiss > c.cfg.MinImprovement {
+		c.currentK = bestK
+		if c.cache != nil {
+			c.cache.SetSamplingSize(bestK)
+		}
+		switched = true
+	}
+	c.decisions = append(c.decisions, Decision{
+		AtRequest: c.count,
+		ChosenK:   c.currentK,
+		Predicted: pred,
+		Switched:  switched,
+	})
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RenderASCII draws a panel as a text plot: one glyph per series,
+// linear axes, with a legend and axis ranges. It is intentionally
+// plain — the CSV output feeds real plotting tools; this rendering
+// makes shapes reviewable inside EXPERIMENTS.md.
+func RenderASCII(p Panel, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 6 {
+		height = 6
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '~', '^'}
+
+	// Bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return p.Title + " (no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, g byte) {
+		cx := int((x - minX) / (maxX - minX) * float64(width-1))
+		cy := int((y - minY) / (maxY - minY) * float64(height-1))
+		row := height - 1 - cy
+		if row >= 0 && row < height && cx >= 0 && cx < width {
+			grid[row][cx] = g
+		}
+	}
+	for si, s := range p.Series {
+		g := glyphs[si%len(glyphs)]
+		// Draw with linear interpolation between points so sparse
+		// series stay readable.
+		for i := 1; i < len(s.X); i++ {
+			steps := width / 2
+			for t := 0; t <= steps; t++ {
+				f := float64(t) / float64(steps)
+				plot(s.X[i-1]+f*(s.X[i]-s.X[i-1]), s.Y[i-1]+f*(s.Y[i]-s.Y[i-1]), g)
+			}
+		}
+		if len(s.X) == 1 {
+			plot(s.X[0], s.Y[0], g)
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", p.Title)
+	fmt.Fprintf(&sb, "%-8.3g ┤\n", maxY)
+	for _, row := range grid {
+		fmt.Fprintf(&sb, "         │%s\n", string(row))
+	}
+	fmt.Fprintf(&sb, "%-8.3g ┤%s\n", minY, strings.Repeat("─", width))
+	fmt.Fprintf(&sb, "          %-12.4g%s%12.4g\n", minX, strings.Repeat(" ", maxInt(0, width-24)), maxX)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&sb, "          x: %s   y: %s\n", p.XLabel, p.YLabel)
+	}
+	for si, s := range p.Series {
+		fmt.Fprintf(&sb, "          %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return sb.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

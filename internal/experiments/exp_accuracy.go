@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+
+	"krr/internal/core"
+	"krr/internal/mrc"
+	"krr/internal/olken"
+	"krr/internal/stats"
+	"krr/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:          "fig1.1",
+		Title:       "MRCs of MSR web under K-LRU for K = 1..32",
+		Description: "Motivation: the miss ratio gap between sampling sizes (Fig 1.1).",
+		Run:         runFig11,
+	})
+	register(Experiment{
+		ID:          "table5.1",
+		Title:       "Average MAE of KRR (± spatial sampling) vs simulated K-LRU",
+		Description: "Accuracy across MSR, YCSB and Twitter families (Table 5.1).",
+		Run:         runTable51,
+	})
+	register(Experiment{
+		ID:          "fig5.1",
+		Title:       "Actual vs predicted K-LRU MRCs (YCSB E α=1.5, MSR src1)",
+		Description: "Representative overlay of model and ground truth (Fig 5.1).",
+		Run:         runFig51,
+	})
+	register(Experiment{
+		ID:          "fig5.2",
+		Title:       "Type A vs Type B traces under K-LRU and LRU",
+		Description: "Taxonomy of K-sensitivity (Fig 5.2).",
+		Run:         runFig52,
+	})
+}
+
+func runFig11(opt Options) (*Result, error) {
+	p := mustPreset("msr-web")
+	tr, sum, err := materialize(p, opt, false)
+	if err != nil {
+		return nil, err
+	}
+	sizes := evalSizes(sum.DistinctObjects, opt.SimSizes)
+
+	panel := Panel{
+		Title:  "msr-web-like: simulated K-LRU MRCs",
+		XLabel: "cache size (# objects)",
+		YLabel: "miss ratio",
+	}
+	for _, k := range opt.Ks {
+		c, err := simKLRU(tr, k, sizes, opt.Seed+uint64(k), opt.Workers)
+		if err != nil {
+			return nil, err
+		}
+		panel.Series = append(panel.Series, curveSeries(fmt.Sprintf("K=%d", k), c, sizes))
+	}
+	ol := olken.NewProfiler(1)
+	if err := ol.ProcessAll(tr.Reader()); err != nil {
+		return nil, err
+	}
+	exact := ol.ObjectMRC(1)
+	panel.Series = append(panel.Series, curveSeries("exact LRU", exact, sizes))
+
+	// Shape assertion: the K=1 and LRU curves must differ materially
+	// somewhere (this is the motivating gap).
+	gap := 0.0
+	k1 := panel.Series[0]
+	lru := panel.Series[len(panel.Series)-1]
+	for i := range k1.Y {
+		if d := k1.Y[i] - lru.Y[i]; d > gap || -d > gap {
+			if d < 0 {
+				d = -d
+			}
+			gap = d
+		}
+	}
+	return &Result{
+		Figures: []Figure{{Title: "Fig 1.1", Panels: []Panel{panel}}},
+		Notes: []string{
+			fmt.Sprintf("max |K=1 − LRU| miss-ratio gap: %.3f (paper motivation: the gap is large on this trace)", gap),
+		},
+	}, nil
+}
+
+// familyTraces selects the traces evaluated for one family.
+func familyTraces(family string, opt Options) []workload.Preset {
+	ps := workload.Family(family)
+	// Exclude the merged master trace from the accuracy average (the
+	// paper uses it only for timing).
+	out := ps[:0:0]
+	for _, p := range ps {
+		if p.Name != "msr-master" {
+			out = append(out, p)
+		}
+	}
+	if opt.TracesPerFamily > 0 && len(out) > opt.TracesPerFamily {
+		out = out[:opt.TracesPerFamily]
+	}
+	return out
+}
+
+func runTable51(opt Options) (*Result, error) {
+	families := []string{"msr", "ycsb", "twitter"}
+	cols := []string{"family"}
+	for _, k := range opt.Ks {
+		cols = append(cols, fmt.Sprintf("KRR K=%d", k))
+	}
+	for _, k := range opt.Ks {
+		cols = append(cols, fmt.Sprintf("+Spatial K=%d", k))
+	}
+	table := Table{Title: "Average MAE vs simulated K-LRU", Columns: cols}
+
+	var notes []string
+	var worst float64
+	for _, family := range families {
+		presets := familyTraces(family, opt)
+		plain := make([]stats.Welford, len(opt.Ks))
+		sampled := make([]stats.Welford, len(opt.Ks))
+		for _, p := range presets {
+			tr, sum, err := materialize(p, opt, false)
+			if err != nil {
+				return nil, err
+			}
+			sizes := evalSizes(sum.DistinctObjects, opt.SimSizes)
+			rate := rateFor(sum.DistinctObjects)
+			for ki, k := range opt.Ks {
+				truth, err := simKLRU(tr, k, sizes, opt.Seed+uint64(k)*13, opt.Workers)
+				if err != nil {
+					return nil, err
+				}
+				model, _, err := krrCurve(tr, core.Config{K: k, Seed: opt.Seed})
+				if err != nil {
+					return nil, err
+				}
+				mae := mrc.MAE(model, truth, sizes)
+				plain[ki].Add(mae)
+				if mae > worst {
+					worst = mae
+				}
+
+				sModel, _, err := krrCurve(tr, core.Config{K: k, Seed: opt.Seed, SamplingRate: rate})
+				if err != nil {
+					return nil, err
+				}
+				sMAE := mrc.MAE(sModel, truth, sizes)
+				sampled[ki].Add(sMAE)
+				if sMAE > worst {
+					worst = sMAE
+				}
+			}
+		}
+		row := []string{family}
+		for ki := range opt.Ks {
+			row = append(row, f4(plain[ki].Mean()))
+		}
+		for ki := range opt.Ks {
+			row = append(row, f4(sampled[ki].Mean()))
+		}
+		table.Rows = append(table.Rows, row)
+		notes = append(notes, fmt.Sprintf("%s: %d traces evaluated", family, len(presets)))
+	}
+	notes = append(notes, fmt.Sprintf("max MAE across all instances: %.4f (paper: ~0.01 worst case)", worst))
+	return &Result{Tables: []Table{table}, Notes: notes}, nil
+}
+
+func runFig51(opt Options) (*Result, error) {
+	fig := Figure{Title: "Fig 5.1"}
+	var notes []string
+	for _, name := range []string{"ycsb-e-1.5", "msr-src1"} {
+		p := mustPreset(name)
+		tr, sum, err := materialize(p, opt, false)
+		if err != nil {
+			return nil, err
+		}
+		sizes := evalSizes(sum.DistinctObjects, opt.SimSizes)
+		rate := rateFor(sum.DistinctObjects)
+		panel := Panel{Title: name, XLabel: "cache size (# objects)", YLabel: "miss ratio"}
+		for _, k := range []int{1, 4, 16} {
+			truth, err := simKLRU(tr, k, sizes, opt.Seed+uint64(k), opt.Workers)
+			if err != nil {
+				return nil, err
+			}
+			model, _, err := krrCurve(tr, core.Config{K: k, Seed: opt.Seed})
+			if err != nil {
+				return nil, err
+			}
+			spatial, _, err := krrCurve(tr, core.Config{K: k, Seed: opt.Seed, SamplingRate: rate})
+			if err != nil {
+				return nil, err
+			}
+			panel.Series = append(panel.Series,
+				curveSeries(fmt.Sprintf("real K=%d", k), truth, sizes),
+				curveSeries(fmt.Sprintf("KRR K=%d", k), model, sizes),
+				curveSeries(fmt.Sprintf("KRR+Spatial K=%d", k), spatial, sizes),
+			)
+			notes = append(notes, fmt.Sprintf("%s K=%d: KRR MAE %.4f, KRR+Spatial MAE %.4f",
+				name, k, mrc.MAE(model, truth, sizes), mrc.MAE(spatial, truth, sizes)))
+		}
+		ol := olken.NewProfiler(1)
+		if err := ol.ProcessAll(tr.Reader()); err != nil {
+			return nil, err
+		}
+		panel.Series = append(panel.Series, curveSeries("exact LRU", ol.ObjectMRC(1), sizes))
+		fig.Panels = append(fig.Panels, panel)
+	}
+	return &Result{Figures: []Figure{fig}, Notes: notes}, nil
+}
+
+func runFig52(opt Options) (*Result, error) {
+	typeA := []string{"ycsb-e-1.5", "msr-src1", "msr-src2", "msr-web", "msr-proj", "tw-34.1"}
+	typeB := []string{"msr-usr", "ycsb-c-0.99", "tw-45.0"}
+
+	var notes []string
+	build := func(names []string, label string) (Figure, error) {
+		fig := Figure{Title: "Fig 5.2" + label}
+		for _, name := range names {
+			p := mustPreset(name)
+			tr, sum, err := materialize(p, opt, false)
+			if err != nil {
+				return fig, err
+			}
+			sizes := evalSizes(sum.DistinctObjects, opt.SimSizes)
+			panel := Panel{Title: name, XLabel: "cache size (# objects)", YLabel: "miss ratio"}
+			maxK := opt.Ks[0]
+			for _, k := range opt.Ks {
+				if k > maxK {
+					maxK = k
+				}
+			}
+			var k1, kMax Series
+			for _, k := range opt.Ks {
+				c, err := simKLRU(tr, k, sizes, opt.Seed+uint64(k)*7, opt.Workers)
+				if err != nil {
+					return fig, err
+				}
+				s := curveSeries(fmt.Sprintf("K=%d", k), c, sizes)
+				panel.Series = append(panel.Series, s)
+				if k == 1 {
+					k1 = s
+				}
+				if k == maxK {
+					kMax = s
+				}
+			}
+			ol := olken.NewProfiler(1)
+			if err := ol.ProcessAll(tr.Reader()); err != nil {
+				return fig, err
+			}
+			lru := curveSeries("exact LRU", ol.ObjectMRC(1), sizes)
+			panel.Series = append(panel.Series, lru)
+			fig.Panels = append(fig.Panels, panel)
+
+			// Shape: record the mean |K=1 − LRU| gap and the
+			// largest-K↔LRU convergence.
+			gap := stats.MAE(k1.Y, lru.Y)
+			conv := stats.MAE(kMax.Y, lru.Y)
+			notes = append(notes, fmt.Sprintf("%s (%s): mean |K=1 − LRU| = %.3f, |K=%d − LRU| = %.3f",
+				name, p.Type, gap, maxK, conv))
+		}
+		return fig, nil
+	}
+
+	figA, err := build(typeA, "a (Type A: K-sensitive)")
+	if err != nil {
+		return nil, err
+	}
+	figB, err := build(typeB, "b (Type B: K-insensitive)")
+	if err != nil {
+		return nil, err
+	}
+	notes = append(notes,
+		"expected shape: Type A panels show a wide K=1↔LRU gap; Type B curves overlap; K=32 tracks LRU everywhere")
+	return &Result{Figures: []Figure{figA, figB}, Notes: notes}, nil
+}

@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"krr/internal/aet"
+	"krr/internal/core"
+	"krr/internal/dlru"
+	"krr/internal/minisim"
+	"krr/internal/mrc"
+	"krr/internal/simulator"
+	"krr/internal/trace"
+	"krr/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:          "ext.aet-crossover",
+		Title:       "AET vs KRR for large K (§5.3 recommendation)",
+		Description: "As K grows, K-LRU converges to LRU and the cheaper AET model becomes preferable.",
+		Run:         runExtAET,
+	})
+	register(Experiment{
+		ID:          "ext.minisim",
+		Title:       "Miniature simulation vs KRR (§6.2 baseline)",
+		Description: "Accuracy and cost of per-size scaled-down simulation against the one-pass stack model.",
+		Run:         runExtMinisim,
+	})
+	register(Experiment{
+		ID:          "ext.policies",
+		Title:       "Sampled eviction beyond recency (§7 future work)",
+		Description: "Miss ratios of sampled LRU / LFU / hyperbolic / TTL priorities on skew and scan workloads.",
+		Run:         runExtPolicies,
+	})
+	register(Experiment{
+		ID:          "ext.dlru",
+		Title:       "DLRU-style adaptive sampling size (§1 motivation)",
+		Description: "An online controller driven by KRR shadow profilers vs fixed K on a phase-changing workload.",
+		Run:         runExtDLRU,
+	})
+}
+
+func runExtAET(opt Options) (*Result, error) {
+	p := mustPreset("msr-web")
+	tr, sum, err := materialize(p, opt, false)
+	if err != nil {
+		return nil, err
+	}
+	sizes := evalSizes(sum.DistinctObjects, opt.SimSizes)
+	table := Table{
+		Title:   "MAE vs simulated K-LRU and model runtime (msr-web-like)",
+		Columns: []string{"K", "KRR MAE", "KRR time", "AET MAE", "AET time"},
+	}
+	for _, k := range []int{4, 16, 32, 64} {
+		truth, err := simKLRU(tr, k, sizes, opt.Seed+uint64(k), opt.Workers)
+		if err != nil {
+			return nil, err
+		}
+		model, kTime, err := krrCurve(tr, core.Config{K: k, Seed: opt.Seed})
+		if err != nil {
+			return nil, err
+		}
+		mon := aet.New(0)
+		start := time.Now()
+		if err := mon.ProcessAll(tr.Reader()); err != nil {
+			return nil, err
+		}
+		aTime := time.Since(start)
+		aCurve := mon.MRC()
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%d", k),
+			f4(mrc.MAE(model, truth, sizes)), dur(kTime),
+			f4(mrc.MAE(aCurve, truth, sizes)), dur(aTime),
+		})
+	}
+	return &Result{
+		Tables: []Table{table},
+		Notes: []string{
+			"expected shape (§5.3): AET models exact LRU only, so its error *falls* as K grows and K-LRU converges to LRU, while its cost stays flat and below KRR's (whose swap work grows with K)",
+		},
+	}, nil
+}
+
+func runExtMinisim(opt Options) (*Result, error) {
+	p := mustPreset("msr-src1")
+	tr, sum, err := materialize(p, opt, false)
+	if err != nil {
+		return nil, err
+	}
+	sizes := evalSizes(sum.DistinctObjects, opt.SimSizes)
+	rate := rateFor(sum.DistinctObjects)
+	const k = 5
+
+	truth, err := simKLRU(tr, k, sizes, opt.Seed+1, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	model, kTime, err := krrCurve(tr, core.Config{K: k, Seed: opt.Seed, SamplingRate: rate})
+	if err != nil {
+		return nil, err
+	}
+	sim, err := minisim.New(minisim.Config{Sizes: sizes, Rate: rate, K: k, Seed: opt.Seed})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := sim.ProcessAll(tr.Reader()); err != nil {
+		return nil, err
+	}
+	mTime := time.Since(start)
+	mini := sim.MRC()
+
+	table := Table{
+		Title:   fmt.Sprintf("msr-src1-like, K=%d, R=%.3g, %d sizes", k, rate, len(sizes)),
+		Columns: []string{"method", "MAE vs full simulation", "time"},
+		Rows: [][]string{
+			{"KRR + spatial (one pass, all sizes)", f4(mrc.MAE(model, truth, sizes)), dur(kTime)},
+			{fmt.Sprintf("miniature simulation (%d caches)", len(sizes)), f4(mrc.MAE(mini, truth, sizes)), dur(mTime)},
+		},
+	}
+	return &Result{
+		Tables: []Table{table},
+		Notes: []string{
+			"trade-off (§6.2 vs §4): miniature simulation works for any policy but costs one scaled cache per evaluated size; KRR covers every size in one stack but is K-LRU-specific",
+		},
+	}, nil
+}
+
+func runExtPolicies(opt Options) (*Result, error) {
+	workloads := []struct {
+		name string
+		mk   func() trace.Reader
+	}{
+		{"zipf-skew", func() trace.Reader {
+			return workload.NewZipf(opt.Seed, scaledKeys(100_000, opt), 1.0, nil, 0)
+		}},
+		{"scan-mix", func() trace.Reader {
+			zipf := workload.NewZipf(opt.Seed, scaledKeys(100_000, opt), 1.1, nil, 0)
+			loop := workload.NewLoop(scaledKeys(60_000, opt), nil)
+			loop.SetKeySpace(1 << 40)
+			return workload.NewMix(opt.Seed+1, []trace.Reader{zipf, loop}, []float64{0.6, 0.4})
+		}},
+	}
+	priorities := []simulator.Priority{
+		simulator.Recency{},
+		simulator.Frequency{},
+		simulator.Frequency{Decay: 0.0001},
+		simulator.Hyperbolic{},
+	}
+	table := Table{
+		Title:   "Sampled-eviction (K=10) miss ratio at 25% / 50% of the working set",
+		Columns: []string{"workload", "priority", "miss @25%", "miss @50%"},
+	}
+	n := int(float64(1_000_000) * opt.ReqFraction)
+	if opt.MaxRequests > 0 && n > opt.MaxRequests {
+		n = opt.MaxRequests
+	}
+	for _, w := range workloads {
+		tr, err := trace.Collect(w.mk(), n)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := trace.Summarize(tr.Reader())
+		if err != nil {
+			return nil, err
+		}
+		for _, prio := range priorities {
+			row := []string{w.name, prio.Name()}
+			if d, ok := prio.(simulator.Frequency); ok && d.Decay > 0 {
+				row[1] = "lfu+decay"
+			}
+			for _, frac := range []float64{0.25, 0.5} {
+				capObj := int(float64(sum.DistinctObjects) * frac)
+				cache := simulator.NewSampled(simulator.SampledConfig{
+					Capacity: simulator.ObjectCapacity(capObj),
+					K:        10, Priority: prio, Seed: opt.Seed,
+				})
+				st, err := simulator.Run(cache, tr.Reader())
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f4(st.MissRatio()))
+			}
+			table.Rows = append(table.Rows, row)
+		}
+	}
+	return &Result{
+		Tables: []Table{table},
+		Notes: []string{
+			"§7 future work realized on the simulator side: frequency-based priorities resist the scan phase that recency-based sampling thrashes on",
+		},
+	}, nil
+}
+
+func scaledKeys(base uint64, opt Options) uint64 {
+	v := uint64(float64(base) * opt.Scale)
+	if v < 100 {
+		v = 100
+	}
+	return v
+}
+
+func runExtDLRU(opt Options) (*Result, error) {
+	// Phase-changing workload: Zipfian skew, then a loop exceeding the
+	// budget, then skew again. Fixed K is wrong in one of the phases.
+	keys := scaledKeys(60_000, opt)
+	budget := keys / 3
+	phaseLen := int(float64(400_000) * opt.ReqFraction)
+	if opt.MaxRequests > 0 && phaseLen*3 > opt.MaxRequests {
+		phaseLen = opt.MaxRequests / 3
+	}
+	mkStream := func() []trace.Request {
+		var reqs []trace.Request
+		z1 := workload.NewZipf(opt.Seed, keys, 1.1, nil, 0)
+		loop := workload.NewLoop(keys*2/3, nil)
+		z2 := workload.NewZipf(opt.Seed+2, keys, 1.1, nil, 0)
+		for _, g := range []trace.Reader{z1, loop, z2} {
+			for i := 0; i < phaseLen; i++ {
+				r, _ := g.Next()
+				reqs = append(reqs, r)
+			}
+		}
+		return reqs
+	}
+	stream := mkStream()
+
+	runFixed := func(k int) (float64, error) {
+		cache := simulator.NewKLRU(simulator.ObjectCapacity(int(budget)), k, true, opt.Seed)
+		var hits int
+		for _, req := range stream {
+			if cache.Access(req) {
+				hits++
+			}
+		}
+		return 1 - float64(hits)/float64(len(stream)), nil
+	}
+
+	table := Table{
+		Title:   fmt.Sprintf("Phase-changing workload (skew → loop → skew), budget %d objects", budget),
+		Columns: []string{"configuration", "miss ratio"},
+	}
+	for _, k := range []int{1, 8, 32} {
+		miss, err := runFixed(k)
+		if err != nil {
+			return nil, err
+		}
+		table.Rows = append(table.Rows, []string{fmt.Sprintf("fixed K=%d", k), f4(miss)})
+	}
+
+	cache := simulator.NewKLRU(simulator.ObjectCapacity(int(budget)), 32, true, opt.Seed)
+	ctl, err := dlru.New(dlru.Config{
+		BudgetObjects: budget,
+		Candidates:    []int{1, 8, 32},
+		Window:        phaseLen / 4,
+		SamplingRate:  0.2,
+		Seed:          opt.Seed,
+	}, cache)
+	if err != nil {
+		return nil, err
+	}
+	var hits int
+	for _, req := range stream {
+		if ctl.Process(req) {
+			hits++
+		}
+	}
+	adaptive := 1 - float64(hits)/float64(len(stream))
+	table.Rows = append(table.Rows, []string{"DLRU adaptive (KRR shadow profilers)", f4(adaptive)})
+
+	switches := 0
+	for _, d := range ctl.Decisions() {
+		if d.Switched {
+			switches++
+		}
+	}
+	return &Result{
+		Tables: []Table{table},
+		Notes: []string{
+			fmt.Sprintf("controller made %d decisions, %d switches, final K=%d", len(ctl.Decisions()), switches, ctl.CurrentK()),
+			"expected shape (§1): the adaptive configuration tracks the best fixed K per phase and lands at or below the best static choice",
+		},
+	}, nil
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"krr/internal/olken"
+	"krr/internal/simulator"
+	"krr/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:          "ext.opt-bound",
+		Title:       "Belady OPT bound vs LRU and K-LRU",
+		Description: "How much optimality headroom random-sampling eviction leaves on Type A and Type B traces.",
+		Run:         runExtOPT,
+	})
+}
+
+func runExtOPT(opt Options) (*Result, error) {
+	fig := Figure{Title: "ext.opt-bound"}
+	var notes []string
+	for _, name := range []string{"msr-web", "msr-usr"} {
+		p := mustPreset(name)
+		tr, sum, err := materialize(p, opt, false)
+		if err != nil {
+			return nil, err
+		}
+		sizes := evalSizes(sum.DistinctObjects, opt.SimSizes)
+
+		optCurve := simulator.OPTMRC(tr, sizes, opt.Workers)
+		k1, err := simKLRU(tr, 1, sizes, opt.Seed+1, opt.Workers)
+		if err != nil {
+			return nil, err
+		}
+		k8, err := simKLRU(tr, 8, sizes, opt.Seed+2, opt.Workers)
+		if err != nil {
+			return nil, err
+		}
+		ol := olken.NewProfiler(1)
+		if err := ol.ProcessAll(tr.Reader()); err != nil {
+			return nil, err
+		}
+		lru := ol.ObjectMRC(1)
+
+		panel := Panel{
+			Title: fmt.Sprintf("%s (%s)", name, p.Type), XLabel: "cache size (# objects)", YLabel: "miss ratio",
+			Series: []Series{
+				curveSeries("OPT (Belady)", optCurve, sizes),
+				curveSeries("K-LRU K=1", k1, sizes),
+				curveSeries("K-LRU K=8", k8, sizes),
+				curveSeries("exact LRU", lru, sizes),
+			},
+		}
+		fig.Panels = append(fig.Panels, panel)
+
+		gapLRU := stats.MAE(panel.Series[0].Y, panel.Series[3].Y)
+		gapK1 := stats.MAE(panel.Series[0].Y, panel.Series[1].Y)
+		notes = append(notes, fmt.Sprintf("%s: mean LRU−OPT gap %.3f, K=1−OPT gap %.3f", name, gapLRU, gapK1))
+	}
+	notes = append(notes,
+		"reading: on loop-heavy Type A traces K=1 sits closer to OPT than LRU does (random eviction accidentally approximates OPT's streaming behaviour); on hotspot Type B traces LRU is near-optimal and sampling only approaches it")
+	return &Result{Figures: []Figure{fig}, Notes: notes}, nil
+}

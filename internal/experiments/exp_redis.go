@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"krr/internal/core"
+	"krr/internal/mrc"
+	"krr/internal/parallel"
+	"krr/internal/redislike"
+	"krr/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:          "fig5.5",
+		Title:       "Validating KRR against the redislike engine",
+		Description: "Engine MRCs at many memory sizes vs KRR+Spatial vs the in-house K-LRU simulator (Fig 5.5).",
+		Run:         runFig55,
+	})
+	register(Experiment{
+		ID:          "ablation.redis-sampling",
+		Title:       "Biased dictGetSomeKeys vs good-random sampling in the engine",
+		Description: "Reproduces the §5.7 deviation between Redis and the idealized simulator.",
+		Run:         runAblationRedisSampling,
+	})
+}
+
+// engineMRC replays the trace against redislike engines at each
+// object budget (converted to maxmemory) in parallel.
+func engineMRC(tr *trace.Trace, objSizes []uint64, mode redislike.SamplingMode, seed uint64, workers int) *mrc.Curve {
+	const objCost = trace.DefaultObjectSize + 48 // value + per-key overhead
+	miss := parallel.Map(len(objSizes), workers, func(i int) float64 {
+		e := redislike.NewEngine(redislike.Config{
+			MaxMemory: objSizes[i] * objCost,
+			Samples:   redislike.DefaultSamples,
+			Sampling:  mode,
+			Seed:      seed + uint64(i),
+		})
+		var hits, total int
+		r := tr.Reader()
+		for {
+			req, err := r.Next()
+			if err != nil {
+				break
+			}
+			if req.Op == trace.OpDelete {
+				e.Access(req)
+				continue
+			}
+			total++
+			if e.Access(req) {
+				hits++
+			}
+		}
+		return 1 - float64(hits)/float64(total)
+	})
+	return mrc.FromPoints(objSizes, miss)
+}
+
+func runFig55(opt Options) (*Result, error) {
+	const k = redislike.DefaultSamples
+	fig := Figure{Title: "Fig 5.5"}
+	var notes []string
+	for _, name := range []string{"msr-src2", "msr-web", "msr-proj"} {
+		p := mustPreset(name)
+		tr, sum, err := materialize(p, opt, false)
+		if err != nil {
+			return nil, err
+		}
+		// The paper runs 50 Redis memory sizes; scale with SimSizes.
+		sizes := evalSizes(sum.DistinctObjects, opt.SimSizes)
+		rate := rateFor(sum.DistinctObjects)
+
+		redis := engineMRC(tr, sizes, redislike.SampleSomeKeys, opt.Seed, opt.Workers)
+		sim, err := simKLRU(tr, k, sizes, opt.Seed+3, opt.Workers)
+		if err != nil {
+			return nil, err
+		}
+		model, _, err := krrCurve(tr, core.Config{K: k, Seed: opt.Seed, SamplingRate: rate})
+		if err != nil {
+			return nil, err
+		}
+		fig.Panels = append(fig.Panels, Panel{
+			Title: name, XLabel: "cache size (# objects)", YLabel: "miss ratio",
+			Series: []Series{
+				curveSeries("redislike", redis, sizes),
+				curveSeries("in-house simulator", sim, sizes),
+				curveSeries("KRR+Spatial", model, sizes),
+			},
+		})
+		notes = append(notes, fmt.Sprintf("%s: KRR vs redislike MAE %.4f, simulator vs redislike MAE %.4f",
+			name, mrc.MAE(model, redis, sizes), mrc.MAE(sim, redis, sizes)))
+	}
+	notes = append(notes,
+		"expected shape (§5.7): KRR tracks the engine closely; a slight engine↔simulator gap remains from Redis's biased key sampling")
+	return &Result{Figures: []Figure{fig}, Notes: notes}, nil
+}
+
+func runAblationRedisSampling(opt Options) (*Result, error) {
+	p := mustPreset("msr-web")
+	tr, sum, err := materialize(p, opt, false)
+	if err != nil {
+		return nil, err
+	}
+	sizes := evalSizes(sum.DistinctObjects, opt.SimSizes)
+	const k = redislike.DefaultSamples
+
+	biased := engineMRC(tr, sizes, redislike.SampleSomeKeys, opt.Seed, opt.Workers)
+	good := engineMRC(tr, sizes, redislike.SampleRandomKey, opt.Seed, opt.Workers)
+	sim, err := simKLRU(tr, k, sizes, opt.Seed+11, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	table := Table{
+		Title:   "Engine sampling mode vs idealized K-LRU simulator (msr-web-like, K=5)",
+		Columns: []string{"engine sampling", "MAE vs simulator"},
+		Rows: [][]string{
+			{"dictGetSomeKeys (biased, Redis default)", f4(mrc.MAE(biased, sim, sizes))},
+			{"dictGetRandomKey (good random)", f4(mrc.MAE(good, sim, sizes))},
+		},
+	}
+	return &Result{
+		Tables: []Table{table},
+		Figures: []Figure{{Title: "ablation.redis-sampling", Panels: []Panel{{
+			Title: "msr-web-like, K=5", XLabel: "cache size (# objects)", YLabel: "miss ratio",
+			Series: []Series{
+				curveSeries("someKeys (biased)", biased, sizes),
+				curveSeries("randomKey (good)", good, sizes),
+				curveSeries("ideal simulator", sim, sizes),
+			},
+		}}}},
+		Notes: []string{
+			"expected shape (§5.7 footnote 3): good-random sampling matches the idealized simulator more closely than the biased default",
+		},
+	}, nil
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+
+	"krr/internal/core"
+	"krr/internal/mrc"
+	"krr/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:          "table5.2",
+		Title:       "MAE of var-KRR (± spatial) on variable-size MSR and Twitter workloads",
+		Description: "Byte-granularity accuracy (Table 5.2).",
+		Run:         runTable52,
+	})
+	register(Experiment{
+		ID:          "fig5.3",
+		Title:       "uni-KRR vs var-KRR vs exact K-LRU on variable-size traces",
+		Description: "Why size-awareness matters (Fig 5.3), with model runtimes.",
+		Run:         runFig53,
+	})
+	register(Experiment{
+		ID:          "ablation.sizearray",
+		Title:       "sizeArray (Algorithm 3) vs exact Fenwick byte distances",
+		Description: "Accuracy and runtime cost of the paper's approximate prefix structure.",
+		Run:         runAblationSizeArray,
+	})
+}
+
+// byteEvalSizes picks evaluation byte capacities over the byte WSS.
+func byteEvalSizes(wssBytes uint64, n int) []uint64 {
+	return mrc.EvenSizes(wssBytes, n)
+}
+
+func runTable52(opt Options) (*Result, error) {
+	families := []string{"msr", "twitter"}
+	table := Table{
+		Title:   "MAE (byte-granularity) vs byte-capacity K-LRU simulation",
+		Columns: []string{"K", "Var-KRR MSR", "Var-KRR Twitter", "+Spatial MSR", "+Spatial Twitter"},
+	}
+	// Accumulate per (family, K).
+	plain := map[string][]stats.Welford{}
+	sampled := map[string][]stats.Welford{}
+	for _, fam := range families {
+		plain[fam] = make([]stats.Welford, len(opt.Ks))
+		sampled[fam] = make([]stats.Welford, len(opt.Ks))
+	}
+	var notes []string
+
+	for _, fam := range families {
+		for _, p := range familyTraces(fam, opt) {
+			tr, sum, err := materialize(p, opt, true)
+			if err != nil {
+				return nil, err
+			}
+			sizes := byteEvalSizes(sum.WSSBytes, opt.SimSizes)
+			rate := rateFor(sum.DistinctObjects)
+			for ki, k := range opt.Ks {
+				truth, err := simKLRUBytes(tr, k, sizes, opt.Seed+uint64(k)*17, opt.Workers)
+				if err != nil {
+					return nil, err
+				}
+				model, _, err := krrByteCurve(tr, core.Config{K: k, Seed: opt.Seed, Bytes: core.BytesSizeArray})
+				if err != nil {
+					return nil, err
+				}
+				plain[fam][ki].Add(mrc.MAE(model, truth, sizes))
+
+				sModel, _, err := krrByteCurve(tr, core.Config{
+					K: k, Seed: opt.Seed, Bytes: core.BytesSizeArray, SamplingRate: rate})
+				if err != nil {
+					return nil, err
+				}
+				sampled[fam][ki].Add(mrc.MAE(sModel, truth, sizes))
+			}
+		}
+		notes = append(notes, fmt.Sprintf("%s: %d variable-size traces", fam, len(familyTraces(fam, opt))))
+	}
+
+	var sumPlain, sumSampled stats.Welford
+	for ki, k := range opt.Ks {
+		row := []string{fmt.Sprintf("%d", k),
+			f4(plain["msr"][ki].Mean()), f4(plain["twitter"][ki].Mean()),
+			f4(sampled["msr"][ki].Mean()), f4(sampled["twitter"][ki].Mean())}
+		table.Rows = append(table.Rows, row)
+		sumPlain.Add(plain["msr"][ki].Mean())
+		sumPlain.Add(plain["twitter"][ki].Mean())
+		sumSampled.Add(sampled["msr"][ki].Mean())
+		sumSampled.Add(sampled["twitter"][ki].Mean())
+	}
+	table.Rows = append(table.Rows, []string{"Average",
+		f4(sumPlain.Mean()), "", f4(sumSampled.Mean()), ""})
+	notes = append(notes, "paper shape: var-KRR averages <0.001 (MSR) and <0.0003 (Twitter); spatial sampling adds ~1-2e-3")
+	return &Result{Tables: []Table{table}, Notes: notes}, nil
+}
+
+func runFig53(opt Options) (*Result, error) {
+	cases := []struct {
+		preset string
+		k      int
+	}{
+		{"msr-rsrch", 8}, {"msr-src1", 8}, {"msr-web", 8}, {"msr-hm", 8},
+		{"tw-34.1", 16}, {"tw-26.0", 16}, {"tw-45.0", 16}, {"tw-52.7", 16},
+	}
+	fig := Figure{Title: "Fig 5.3"}
+	var notes []string
+	for _, cse := range cases {
+		p := mustPreset(cse.preset)
+		tr, sum, err := materialize(p, opt, true)
+		if err != nil {
+			return nil, err
+		}
+		sizes := byteEvalSizes(sum.WSSBytes, opt.SimSizes)
+		truth, err := simKLRUBytes(tr, cse.k, sizes, opt.Seed+7, opt.Workers)
+		if err != nil {
+			return nil, err
+		}
+		uni, uniTime, err := krrByteCurve(tr, core.Config{K: cse.k, Seed: opt.Seed, Bytes: core.BytesUniform})
+		if err != nil {
+			return nil, err
+		}
+		vark, varTime, err := krrByteCurve(tr, core.Config{K: cse.k, Seed: opt.Seed, Bytes: core.BytesSizeArray})
+		if err != nil {
+			return nil, err
+		}
+		panel := Panel{
+			Title:  fmt.Sprintf("%s K=%d", cse.preset, cse.k),
+			XLabel: "cache size (bytes)", YLabel: "miss ratio",
+			Series: []Series{
+				curveSeries("exact K-LRU", truth, sizes),
+				curveSeries("uni-KRR", uni, sizes),
+				curveSeries("var-KRR", vark, sizes),
+			},
+		}
+		fig.Panels = append(fig.Panels, panel)
+		uniMAE := mrc.MAE(uni, truth, sizes)
+		varMAE := mrc.MAE(vark, truth, sizes)
+		notes = append(notes, fmt.Sprintf(
+			"%s K=%d: uni-KRR MAE %.4f (%s), var-KRR MAE %.4f (%s)",
+			cse.preset, cse.k, uniMAE, dur(uniTime), varMAE, dur(varTime)))
+	}
+	notes = append(notes, "expected shape: var-KRR tracks the truth; uni-KRR deviates on size-heterogeneous traces at modest extra runtime")
+	return &Result{Figures: []Figure{fig}, Notes: notes}, nil
+}
+
+func runAblationSizeArray(opt Options) (*Result, error) {
+	p := mustPreset("tw-26.0")
+	tr, sum, err := materialize(p, opt, true)
+	if err != nil {
+		return nil, err
+	}
+	sizes := byteEvalSizes(sum.WSSBytes, opt.SimSizes)
+	const k = 8
+	approx, approxTime, err := krrByteCurve(tr, core.Config{K: k, Seed: opt.Seed, Bytes: core.BytesSizeArray})
+	if err != nil {
+		return nil, err
+	}
+	exact, exactTime, err := krrByteCurve(tr, core.Config{K: k, Seed: opt.Seed, Bytes: core.BytesFenwick})
+	if err != nil {
+		return nil, err
+	}
+	table := Table{
+		Title:   "sizeArray vs Fenwick (tw-26.0-like, K=8)",
+		Columns: []string{"tracker", "time", "MAE vs Fenwick-tracked curve"},
+		Rows: [][]string{
+			{"sizeArray (Algorithm 3)", dur(approxTime), f4(mrc.MAE(approx, exact, sizes))},
+			{"Fenwick (exact oracle)", dur(exactTime), "0 (reference)"},
+		},
+	}
+	return &Result{
+		Tables: []Table{table},
+		Notes: []string{
+			"design choice: the paper's sizeArray trades exactness between power-of-two boundaries for O(log M) maintenance; the MAE column shows the realized curve-level cost",
+		},
+	}, nil
+}

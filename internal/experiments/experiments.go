@@ -1,0 +1,208 @@
+// Package experiments reproduces every table and figure of the
+// paper's evaluation (§5) plus the ablations called out in DESIGN.md.
+// Each experiment is a registry entry mapping an identifier
+// ("table5.1", "fig5.5", ...) to a runner that generates workloads,
+// executes models against ground truth, and renders rows/series.
+//
+// Absolute numbers (notably the wall-clock rows of Tables 5.3/5.4)
+// are hardware-dependent; what each runner asserts and reports is the
+// paper's *shape*: orderings, ratios and crossovers.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Options scales the experiment suite. The zero value is filled with
+// defaults by Fill; tests use small scales, the CLI defaults to a
+// laptop-sized full run.
+type Options struct {
+	// Scale multiplies every preset's key-space (1.0 = preset base).
+	Scale float64
+	// ReqFraction multiplies every preset's default request count.
+	ReqFraction float64
+	// MaxRequests caps the per-trace request count (0 = no cap).
+	MaxRequests int
+	// SimSizes is the number of simulated cache sizes for ground
+	// truth (the paper uses 40 for accuracy, 25 for timing).
+	SimSizes int
+	// Ks are the sampling sizes swept (default 1,2,4,8,16,32).
+	Ks []int
+	// TracesPerFamily truncates each workload family (0 = all).
+	TracesPerFamily int
+	// Workers bounds simulation parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Seed fixes all randomness.
+	Seed uint64
+}
+
+// Fill returns a copy with defaults applied.
+func (o Options) Fill() Options {
+	if o.Scale <= 0 {
+		o.Scale = 0.2
+	}
+	if o.ReqFraction <= 0 {
+		o.ReqFraction = 0.25
+	}
+	if o.SimSizes <= 0 {
+		o.SimSizes = 20
+	}
+	if len(o.Ks) == 0 {
+		o.Ks = []int{1, 2, 4, 8, 16, 32}
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// Table is one rendered table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Series is one plotted line.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Panel is one subplot.
+type Panel struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Figure is a set of panels.
+type Figure struct {
+	Title  string
+	Panels []Panel
+}
+
+// Result is an experiment's output.
+type Result struct {
+	ID      string
+	Title   string
+	Tables  []Table
+	Figures []Figure
+	// Notes carry shape assertions and paper-vs-measured commentary.
+	Notes   []string
+	Elapsed time.Duration
+}
+
+// Experiment is a registry entry.
+type Experiment struct {
+	ID          string
+	Title       string
+	Description string
+	Run         func(Options) (*Result, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Run executes an experiment by ID with timing.
+func Run(id string, opt Options) (*Result, error) {
+	e, ok := ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	start := time.Now()
+	res, err := e.Run(opt.Fill())
+	if err != nil {
+		return nil, err
+	}
+	res.ID = e.ID
+	if res.Title == "" {
+		res.Title = e.Title
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// IDs lists registered experiment identifiers.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// WriteMarkdown renders the result as GitHub-flavoured markdown,
+// including ASCII renderings of each figure panel.
+func (r *Result) WriteMarkdown(w io.Writer) error {
+	fmt.Fprintf(w, "## %s — %s\n\n", r.ID, r.Title)
+	if r.Elapsed > 0 {
+		fmt.Fprintf(w, "_runtime: %s_\n\n", r.Elapsed.Round(time.Millisecond))
+	}
+	for _, t := range r.Tables {
+		fmt.Fprintf(w, "### %s\n\n", t.Title)
+		fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
+		seps := make([]string, len(t.Columns))
+		for i := range seps {
+			seps[i] = "---"
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+		for _, row := range t.Rows {
+			fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+		}
+		fmt.Fprintln(w)
+	}
+	for _, f := range r.Figures {
+		fmt.Fprintf(w, "### %s\n\n", f.Title)
+		for _, p := range f.Panels {
+			fmt.Fprintf(w, "```\n%s```\n\n", RenderASCII(p, 72, 18))
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "- %s\n", n)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// WriteCSV renders every figure series as "panel,series,x,y" lines.
+func (r *Result) WriteCSV(w io.Writer) error {
+	for _, f := range r.Figures {
+		for _, p := range f.Panels {
+			for _, s := range p.Series {
+				for i := range s.X {
+					if _, err := fmt.Fprintf(w, "%s,%s,%s,%v,%v\n",
+						f.Title, p.Title, s.Name, s.X[i], s.Y[i]); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

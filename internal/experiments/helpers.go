@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"krr/internal/core"
+	"krr/internal/mrc"
+	"krr/internal/sampling"
+	"krr/internal/simulator"
+	"krr/internal/trace"
+	"krr/internal/workload"
+)
+
+// materialize builds an in-memory trace for a preset under the given
+// options.
+func materialize(p workload.Preset, opt Options, variable bool) (*trace.Trace, trace.Summary, error) {
+	n := int(float64(p.DefaultRequests) * opt.ReqFraction)
+	if opt.MaxRequests > 0 && n > opt.MaxRequests {
+		n = opt.MaxRequests
+	}
+	if n < 1000 {
+		n = 1000
+	}
+	r := p.New(opt.Scale, opt.Seed, variable)
+	tr, err := trace.Collect(r, n)
+	if err != nil {
+		return nil, trace.Summary{}, err
+	}
+	sum, err := trace.Summarize(tr.Reader())
+	if err != nil {
+		return nil, trace.Summary{}, err
+	}
+	return tr, sum, nil
+}
+
+// mustPreset resolves a preset or fails loudly — experiment IDs are
+// static, so a missing preset is a programming error.
+func mustPreset(name string) workload.Preset {
+	p, ok := workload.ByName(name)
+	if !ok {
+		panic("experiments: unknown preset " + name)
+	}
+	return p
+}
+
+// evalSizes picks the evaluation cache sizes for a trace: evenly
+// distributed over the working set (§5.3).
+func evalSizes(distinct int, n int) []uint64 {
+	return mrc.EvenSizes(uint64(distinct), n)
+}
+
+// rateFor picks the spatial sampling rate with the paper's 8K-object
+// floor.
+func rateFor(distinct int) float64 { return sampling.RateFor(distinct) }
+
+// krrCurve runs a KRR profiler over the trace and returns its object
+// curve and wall time.
+func krrCurve(tr *trace.Trace, cfg core.Config) (*mrc.Curve, time.Duration, error) {
+	p, err := core.NewProfiler(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	if err := p.ProcessAll(tr.Reader()); err != nil {
+		return nil, 0, err
+	}
+	elapsed := time.Since(start)
+	return p.ObjectMRC(), elapsed, nil
+}
+
+// krrByteCurve runs a byte-granularity KRR profiler.
+func krrByteCurve(tr *trace.Trace, cfg core.Config) (*mrc.Curve, time.Duration, error) {
+	p, err := core.NewProfiler(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	if err := p.ProcessAll(tr.Reader()); err != nil {
+		return nil, 0, err
+	}
+	elapsed := time.Since(start)
+	return p.ByteMRC(), elapsed, nil
+}
+
+// simKLRU returns the ground-truth K-LRU curve via per-size
+// simulation.
+func simKLRU(tr *trace.Trace, k int, sizes []uint64, seed uint64, workers int) (*mrc.Curve, error) {
+	return simulator.KLRUMRC(tr, k, sizes, seed, workers)
+}
+
+// simKLRUBytes returns the byte-capacity ground truth.
+func simKLRUBytes(tr *trace.Trace, k int, sizes []uint64, seed uint64, workers int) (*mrc.Curve, error) {
+	return simulator.KLRUByteMRC(tr, k, sizes, seed, workers)
+}
+
+// simKLRUVariant simulates K-LRU with the chosen eviction-sampling
+// variant (with or without placing back, Propositions 1/2).
+func simKLRUVariant(tr *trace.Trace, k int, sizes []uint64, withReplacement bool, opt Options) (*mrc.Curve, error) {
+	return simulator.MRC(tr, sizes, opt.Workers, func(capacity uint64) simulator.Cache {
+		return simulator.NewKLRU(simulator.ObjectCapacity(int(capacity)), k, withReplacement, opt.Seed+capacity)
+	})
+}
+
+// curveSeries samples a curve at the given sizes into a Series.
+func curveSeries(name string, c *mrc.Curve, at []uint64) Series {
+	s := Series{Name: name, X: make([]float64, len(at)), Y: make([]float64, len(at))}
+	for i, size := range at {
+		s.X[i] = float64(size)
+		s.Y[i] = c.Eval(size)
+	}
+	return s
+}
+
+// f4 formats a float with 4 significant decimals for table cells.
+func f4(v float64) string { return fmt.Sprintf("%.5f", v) }
+
+// f2 formats a float with 2 decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// dur formats a duration for table cells.
+func dur(d time.Duration) string { return d.Round(time.Microsecond).String() }

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RenderSVG draws a panel as a standalone SVG document: axes with tick
+// labels, one colored polyline per series, and a legend. The CSV
+// output remains the canonical data; SVG makes the curves reviewable
+// directly in a browser or repository viewer.
+func RenderSVG(p Panel, width, height int) string {
+	if width < 200 {
+		width = 200
+	}
+	if height < 150 {
+		height = 150
+	}
+	const (
+		marginL = 70
+		marginR = 150
+		marginT = 30
+		marginB = 50
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	palette := []string{
+		"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+		"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	esc := func(s string) string {
+		s = strings.ReplaceAll(s, "&", "&amp;")
+		s = strings.ReplaceAll(s, "<", "&lt;")
+		return strings.ReplaceAll(s, ">", "&gt;")
+	}
+	fmt.Fprintf(&sb, `<text x="%d" y="18" font-family="sans-serif" font-size="13" font-weight="bold">%s</text>`+"\n",
+		marginL, esc(p.Title))
+
+	if math.IsInf(minX, 1) {
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">(no data)</text>`+"\n",
+			marginL, height/2)
+		sb.WriteString("</svg>\n")
+		return sb.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	px := func(x float64) float64 { return marginL + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return marginT + (1-(y-minY)/(maxY-minY))*plotH }
+
+	// Axes box and gridlines with tick labels.
+	fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#444"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+	for i := 0; i <= 4; i++ {
+		f := float64(i) / 4
+		xv := minX + f*(maxX-minX)
+		yv := minY + f*(maxY-minY)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			px(xv), marginT, px(xv), marginT+plotH)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, py(yv), marginL+plotW, py(yv))
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px(xv), marginT+plotH+15, fmtTick(xv))
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginL-5, py(yv)+3, fmtTick(yv))
+	}
+	// Axis labels.
+	if p.XLabel != "" {
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			marginL+plotW/2, height-12, esc(p.XLabel))
+	}
+	if p.YLabel != "" {
+		fmt.Fprintf(&sb, `<text x="14" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+			marginT+plotH/2, marginT+plotH/2, esc(p.YLabel))
+	}
+
+	// Series polylines and legend.
+	for si, s := range p.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		if len(pts) == 1 {
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				px(s.X[0]), py(s.Y[0]), color)
+		} else {
+			fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		ly := marginT + 14 + si*16
+		fmt.Fprintf(&sb, `<line x1="%.0f" y1="%d" x2="%.0f" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			float64(width-marginR+8), ly, float64(width-marginR+28), ly, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			width-marginR+33, ly+3, esc(s.Name))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// fmtTick formats an axis tick compactly.
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 10:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+// WriteSVGs renders every panel of every figure, calling emit with a
+// suggested file name and the SVG document.
+func (r *Result) WriteSVGs(emit func(name, svg string) error) error {
+	for fi, f := range r.Figures {
+		for pi, p := range f.Panels {
+			name := fmt.Sprintf("%s_%d_%d.svg", sanitize(r.ID), fi, pi)
+			if err := emit(name, RenderSVG(p, 640, 360)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func samplePanel() Panel {
+	return Panel{
+		Title: "test & panel", XLabel: "size", YLabel: "miss",
+		Series: []Series{
+			{Name: "a<b", X: []float64{0, 10, 20}, Y: []float64{1, 0.5, 0.1}},
+			{Name: "single", X: []float64{5}, Y: []float64{0.7}},
+		},
+	}
+}
+
+func TestRenderSVGWellFormed(t *testing.T) {
+	svg := RenderSVG(samplePanel(), 640, 360)
+	// Must parse as XML (escaping correct) and carry the content.
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+	for _, want := range []string{"polyline", "circle", "test &amp; panel", "a&lt;b", "<svg"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestRenderSVGEmptyPanel(t *testing.T) {
+	svg := RenderSVG(Panel{Title: "empty"}, 100, 100) // also exercises minimum sizing
+	if !strings.Contains(svg, "no data") {
+		t.Fatal("empty panel must render a placeholder")
+	}
+}
+
+func TestRenderSVGFlatSeries(t *testing.T) {
+	p := Panel{Series: []Series{{Name: "flat", X: []float64{1, 2}, Y: []float64{0.5, 0.5}}}}
+	svg := RenderSVG(p, 300, 200)
+	if !strings.Contains(svg, "polyline") {
+		t.Fatal("flat series must still draw")
+	}
+}
+
+func TestWriteSVGs(t *testing.T) {
+	res := &Result{
+		ID: "fig5.1",
+		Figures: []Figure{
+			{Title: "f", Panels: []Panel{samplePanel(), samplePanel()}},
+		},
+	}
+	var names []string
+	err := res.WriteSVGs(func(name, svg string) error {
+		names = append(names, name)
+		if !strings.HasPrefix(svg, "<svg") {
+			t.Fatal("not an svg")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "fig5_1_0_0.svg" {
+		t.Fatalf("names %v", names)
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		2_500_000_000: "2.5G",
+		3_200_000:     "3.2M",
+		45_000:        "45k",
+		250:           "250",
+		0.53:          "0.53",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Fatalf("fmtTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

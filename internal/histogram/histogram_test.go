@@ -1,0 +1,177 @@
+package histogram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseBasics(t *testing.T) {
+	h := NewDense(10)
+	h.Add(1)
+	h.Add(3)
+	h.Add(3)
+	h.AddCold()
+	if h.Total() != 4 || h.Cold() != 1 {
+		t.Fatalf("total=%d cold=%d", h.Total(), h.Cold())
+	}
+	if h.Count(3) != 2 || h.Count(1) != 1 || h.Count(2) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if h.MaxDistance() != 3 {
+		t.Fatalf("MaxDistance = %d", h.MaxDistance())
+	}
+}
+
+func TestDenseZeroClampedToOne(t *testing.T) {
+	h := NewDense(4)
+	h.Add(0)
+	if h.Count(1) != 1 {
+		t.Fatal("distance 0 must clamp to 1")
+	}
+}
+
+func TestDenseBucketsOrdered(t *testing.T) {
+	h := NewDense(8)
+	for _, d := range []uint64{5, 1, 9, 5, 2} {
+		h.Add(d)
+	}
+	var last uint64
+	var sum uint64
+	h.Buckets(func(d, c uint64) {
+		if d <= last {
+			t.Fatalf("bucket order violated: %d after %d", d, last)
+		}
+		last = d
+		sum += c
+	})
+	if sum != 5 {
+		t.Fatalf("bucket counts sum %d, want 5", sum)
+	}
+}
+
+func TestDenseMerge(t *testing.T) {
+	a, b := NewDense(4), NewDense(4)
+	a.Add(1)
+	a.AddCold()
+	b.Add(1)
+	b.Add(7)
+	a.Merge(b)
+	if a.Total() != 4 || a.Cold() != 1 || a.Count(1) != 2 || a.Count(7) != 1 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+}
+
+func TestDenseEmptyMaxDistance(t *testing.T) {
+	if NewDense(0).MaxDistance() != 0 {
+		t.Fatal("empty histogram MaxDistance must be 0")
+	}
+}
+
+func TestLogIndexMonotone(t *testing.T) {
+	last := -1
+	for v := uint64(1); v < 1<<20; v = v + 1 + v/37 {
+		idx := logIndex(v)
+		if idx < last {
+			t.Fatalf("logIndex not monotone at %d", v)
+		}
+		last = idx
+	}
+}
+
+func TestLogIndexLowerBoundInverse(t *testing.T) {
+	// The lower bound of the bucket containing v must be <= v, and v
+	// must be below the lower bound of the next bucket.
+	err := quick.Check(func(v uint64) bool {
+		if v == 0 {
+			v = 1
+		}
+		idx := logIndex(v)
+		lo := logLowerBound(idx)
+		next := logLowerBound(idx + 1)
+		// The very top bucket's upper bound (2^64) saturates to
+		// MaxUint64, which legitimately contains MaxUint64 itself.
+		return lo <= v && (v < next || next == ^uint64(0))
+	}, &quick.Config{MaxCount: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogRelativeError(t *testing.T) {
+	// Representative distance must be within 1/64 relative error.
+	for v := uint64(1); v < 1<<30; v = v*2 + 3 {
+		rep := logRepresentative(logIndex(v))
+		var diff float64
+		if rep > v {
+			diff = float64(rep-v) / float64(v)
+		} else {
+			diff = float64(v-rep) / float64(v)
+		}
+		if diff > 1.0/logSubCount+1e-9 {
+			t.Fatalf("v=%d rep=%d relative error %v", v, rep, diff)
+		}
+	}
+}
+
+func TestLogSmallValuesExact(t *testing.T) {
+	h := NewLog()
+	for v := uint64(1); v < logSubCount; v++ {
+		h.Add(v)
+	}
+	n := uint64(0)
+	h.Buckets(func(d, c uint64) {
+		if c != 1 {
+			t.Fatalf("distance %d count %d", d, c)
+		}
+		n++
+	})
+	if n != logSubCount-1 {
+		t.Fatalf("expected %d exact buckets, got %d", logSubCount-1, n)
+	}
+}
+
+func TestLogTotals(t *testing.T) {
+	h := NewLog()
+	h.Add(1)
+	h.Add(1 << 40)
+	h.AddCold()
+	if h.Total() != 3 || h.Cold() != 1 {
+		t.Fatalf("total=%d cold=%d", h.Total(), h.Cold())
+	}
+}
+
+func TestLogMerge(t *testing.T) {
+	a, b := NewLog(), NewLog()
+	a.Add(100)
+	b.Add(100)
+	b.Add(1 << 33)
+	b.AddCold()
+	a.Merge(b)
+	if a.Total() != 4 || a.Cold() != 1 {
+		t.Fatalf("total=%d cold=%d", a.Total(), a.Cold())
+	}
+	var sum uint64
+	a.Buckets(func(_, c uint64) { sum += c })
+	if sum != 3 {
+		t.Fatalf("finite count %d, want 3", sum)
+	}
+}
+
+func TestLogBucketsOrdered(t *testing.T) {
+	h := NewLog()
+	for v := uint64(1); v < 1<<22; v = v*3 + 1 {
+		h.Add(v)
+	}
+	var last uint64
+	h.Buckets(func(d, _ uint64) {
+		if d <= last {
+			t.Fatalf("log buckets out of order: %d after %d", d, last)
+		}
+		last = d
+	})
+}
+
+func TestInterfaceCompliance(t *testing.T) {
+	var _ Histogram = NewDense(1)
+	var _ Histogram = NewLog()
+}

@@ -1,0 +1,125 @@
+package mimir
+
+import (
+	"testing"
+
+	"krr/internal/mrc"
+	"krr/internal/olken"
+	"krr/internal/trace"
+	"krr/internal/workload"
+	"krr/internal/xrand"
+)
+
+func TestColdThenHit(t *testing.T) {
+	s := New(8)
+	if _, cold := s.Reference(1); !cold {
+		t.Fatal("first touch must be cold")
+	}
+	d, cold := s.Reference(1)
+	if cold {
+		t.Fatal("second touch must hit")
+	}
+	if d == 0 || d > 2 {
+		t.Fatalf("immediate reuse distance %d", d)
+	}
+}
+
+func TestBucketBudgetRespected(t *testing.T) {
+	s := New(16)
+	src := xrand.New(3)
+	for i := 0; i < 50000; i++ {
+		s.Reference(src.Uint64n(5000))
+	}
+	if s.Buckets() > 16 {
+		t.Fatalf("buckets %d exceed budget", s.Buckets())
+	}
+	if s.Len() > 5000 {
+		t.Fatalf("tracked %d objects", s.Len())
+	}
+	// Population conservation: bucket counts sum to tracked objects.
+	var sum uint64
+	for _, c := range s.counts {
+		sum += c
+	}
+	if sum != uint64(s.Len()) {
+		t.Fatalf("bucket counts %d != tracked %d", sum, s.Len())
+	}
+}
+
+func TestMatchesExactLRUOnZipf(t *testing.T) {
+	g := workload.NewZipf(3, 20000, 0.8, nil, 0)
+	tr, _ := trace.Collect(g, 300000)
+
+	s := New(DefaultBuckets)
+	if err := s.ProcessAll(tr.Reader()); err != nil {
+		t.Fatal(err)
+	}
+	model := s.MRC()
+
+	exact := olken.NewProfiler(1)
+	exact.ProcessAll(tr.Reader())
+	truth := exact.ObjectMRC(1)
+
+	sizes := mrc.EvenSizes(20000, 25)
+	if mae := mrc.MAE(model, truth, sizes); mae > 0.03 {
+		t.Fatalf("MIMIR vs exact LRU MAE %v", mae)
+	}
+}
+
+func TestLoopTrace(t *testing.T) {
+	const m = 5000
+	s := New(DefaultBuckets)
+	g := workload.NewLoop(m, nil)
+	s.ProcessAll(trace.LimitReader(g, m*10))
+	c := s.MRC()
+	if c.Eval(m/2) < 0.9 {
+		t.Fatalf("miss(M/2) = %v", c.Eval(m/2))
+	}
+	if c.Eval(m+m/8) > 0.15 {
+		t.Fatalf("miss beyond loop = %v", c.Eval(m+m/8))
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New(8)
+	s.Reference(1)
+	if !s.Delete(1) || s.Delete(1) {
+		t.Fatal("delete semantics")
+	}
+	if s.Len() != 0 {
+		t.Fatal("object not removed")
+	}
+	if _, cold := s.Reference(1); !cold {
+		t.Fatal("re-reference after delete must be cold")
+	}
+}
+
+func TestDefaultBuckets(t *testing.T) {
+	if New(0).maxBuckets != DefaultBuckets {
+		t.Fatal("default not applied")
+	}
+}
+
+func TestProcessDeleteOp(t *testing.T) {
+	s := New(8)
+	s.Process(trace.Request{Key: 1, Op: trace.OpGet})
+	s.Process(trace.Request{Key: 1, Op: trace.OpDelete})
+	s.Process(trace.Request{Key: 1, Op: trace.OpGet})
+	if s.Hist().Cold() != 2 {
+		t.Fatalf("cold = %d", s.Hist().Cold())
+	}
+}
+
+func BenchmarkReference(b *testing.B) {
+	s := New(DefaultBuckets)
+	g := workload.NewZipf(3, 1<<18, 1.0, nil, 0)
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		r, _ := g.Next()
+		keys[i] = r.Key
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reference(keys[i&(1<<16-1)])
+	}
+}

@@ -1,0 +1,282 @@
+package mrc
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"krr/internal/histogram"
+)
+
+func TestFromPointsSortsAndDedups(t *testing.T) {
+	c := FromPoints([]uint64{30, 10, 20, 10}, []float64{0.3, 0.9, 0.5, 0.8})
+	if c.Len() != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if c.Sizes[0] != 10 || c.Sizes[1] != 20 || c.Sizes[2] != 30 {
+		t.Fatalf("sizes %v", c.Sizes)
+	}
+	if c.Miss[0] != 0.8 { // duplicate keeps the last value
+		t.Fatalf("dup miss %v", c.Miss[0])
+	}
+}
+
+func TestFromPointsPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { FromPoints([]uint64{1}, nil) },
+		func() { FromPoints([]uint64{1}, []float64{1.5}) },
+		func() { FromPoints([]uint64{1}, []float64{-0.1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEvalInterpolation(t *testing.T) {
+	c := FromPoints([]uint64{0, 10, 20}, []float64{1, 0.5, 0.1})
+	cases := map[uint64]float64{
+		0:   1,
+		5:   0.75,
+		10:  0.5,
+		15:  0.3,
+		20:  0.1,
+		100: 0.1, // beyond last: hold
+	}
+	for size, want := range cases {
+		if got := c.Eval(size); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Eval(%d) = %v, want %v", size, got, want)
+		}
+	}
+}
+
+func TestEvalEmptyAndBeforeFirst(t *testing.T) {
+	var empty Curve
+	if empty.Eval(10) != 1 {
+		t.Fatal("empty curve must evaluate to 1")
+	}
+	c := FromPoints([]uint64{100}, []float64{0.4})
+	if c.Eval(5) != 0.4 {
+		t.Fatal("before-first must clamp to first value")
+	}
+}
+
+func TestFromHistogramBasics(t *testing.T) {
+	h := histogram.NewDense(8)
+	// 10 refs: distances 1×4, 2×3, 5×2, cold×1.
+	for i := 0; i < 4; i++ {
+		h.Add(1)
+	}
+	for i := 0; i < 3; i++ {
+		h.Add(2)
+	}
+	for i := 0; i < 2; i++ {
+		h.Add(5)
+	}
+	h.AddCold()
+	c := FromHistogram(h, 1)
+	// Size 0 → 1. Size 1 → (3+2+1)/10. Size 2 → 3/10. Size 5 → 1/10.
+	if got := c.Eval(0); got != 1 {
+		t.Fatalf("miss(0) = %v", got)
+	}
+	if got := c.Eval(1); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("miss(1) = %v, want 0.6", got)
+	}
+	if got := c.Eval(2); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("miss(2) = %v, want 0.3", got)
+	}
+	if got := c.Eval(5); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("miss(5) = %v, want 0.1 (cold ratio)", got)
+	}
+	if got := c.Eval(1000); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("miss(inf) = %v, want cold ratio", got)
+	}
+}
+
+func TestStepInterpolation(t *testing.T) {
+	// A loop trace: every re-reference at distance 100. The curve must
+	// hold miss=~1 for every size below 100 — no linear ramp.
+	h := histogram.NewDense(128)
+	for i := 0; i < 95; i++ {
+		h.Add(100)
+	}
+	for i := 0; i < 5; i++ {
+		h.AddCold()
+	}
+	c := FromHistogram(h, 1)
+	if c.Interp != InterpStep {
+		t.Fatal("histogram curves must be step-interpolated")
+	}
+	if got := c.Eval(50); got != 1 {
+		t.Fatalf("miss(50) = %v, want 1 (step hold)", got)
+	}
+	if got := c.Eval(99); got != 1 {
+		t.Fatalf("miss(99) = %v, want 1", got)
+	}
+	if got := c.Eval(100); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("miss(100) = %v, want 0.05", got)
+	}
+}
+
+func TestFromHistogramScale(t *testing.T) {
+	h := histogram.NewDense(4)
+	h.Add(3)
+	h.Add(3)
+	h.AddCold()
+	c := FromHistogram(h, 1000) // R = 0.001
+	// The breakpoint must land at 3000, not 3.
+	if c.WSS() != 3000 {
+		t.Fatalf("WSS = %d, want 3000", c.WSS())
+	}
+	if got := c.Eval(3000); math.Abs(got-1.0/3) > 1e-9 {
+		t.Fatalf("miss(3000) = %v, want 1/3", got)
+	}
+}
+
+func TestFromHistogramEmpty(t *testing.T) {
+	c := FromHistogram(histogram.NewDense(1), 1)
+	if c.Eval(0) != 1 || c.Eval(100) != 1 {
+		t.Fatal("empty histogram must be all-miss")
+	}
+}
+
+func TestFromHistogramPanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromHistogram(histogram.NewDense(1), 0)
+}
+
+func TestCurveMonotoneFromHistogram(t *testing.T) {
+	// Any histogram yields a non-increasing curve.
+	err := quick.Check(func(ds []uint16, cold uint8) bool {
+		h := histogram.NewDense(16)
+		for _, d := range ds {
+			h.Add(uint64(d%1000) + 1)
+		}
+		for i := 0; i < int(cold); i++ {
+			h.AddCold()
+		}
+		c := FromHistogram(h, 1)
+		for i := 1; i < c.Len(); i++ {
+			if c.Miss[i] > c.Miss[i-1]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMAE(t *testing.T) {
+	a := FromPoints([]uint64{0, 10}, []float64{1, 0})
+	b := FromPoints([]uint64{0, 10}, []float64{1, 0.2})
+	at := []uint64{10}
+	if got := MAE(a, b, at); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("MAE = %v", got)
+	}
+	if MAE(a, b, nil) != 0 {
+		t.Fatal("empty evaluation set must give 0")
+	}
+	if MAE(a, a, []uint64{0, 3, 10, 50}) != 0 {
+		t.Fatal("self MAE must be 0")
+	}
+}
+
+func TestEvenSizes(t *testing.T) {
+	sizes := EvenSizes(4000, 40)
+	if len(sizes) != 40 {
+		t.Fatalf("len = %d", len(sizes))
+	}
+	if sizes[0] != 100 || sizes[39] != 4000 {
+		t.Fatalf("range %d..%d", sizes[0], sizes[39])
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Fatal("sizes must be strictly increasing")
+		}
+	}
+	if EvenSizes(0, 10) != nil || EvenSizes(100, 0) != nil {
+		t.Fatal("degenerate inputs must return nil")
+	}
+	// Tiny WSS collapses duplicates.
+	small := EvenSizes(3, 10)
+	for i := 1; i < len(small); i++ {
+		if small[i] <= small[i-1] {
+			t.Fatal("dedup failed")
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	c := FromPoints([]uint64{0, 5}, []float64{1, 0.25})
+	var sb strings.Builder
+	if err := c.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "0,1.000000\n5,0.250000\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := FromPoints([]uint64{0, 10, 20}, []float64{1, 0.5, 0.1})
+	c.Interp = InterpStep
+	var buf strings.Builder
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Interp != InterpStep || back.Len() != 3 || back.Eval(10) != 0.5 {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	bad := []string{
+		`{"sizes":[1],"miss":[0.5,0.6]}`,          // length mismatch
+		`{"sizes":[2,1],"miss":[0.5,0.6]}`,        // not increasing
+		`{"sizes":[1],"miss":[1.5]}`,              // out of range
+		`{"sizes":[1],"miss":[0.5],"interp":"x"}`, // bad interp
+		`{`, // malformed
+	}
+	for _, in := range bad {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q must fail", in)
+		}
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	sizes := make([]uint64, 100)
+	miss := make([]float64, 100)
+	for i := range sizes {
+		sizes[i] = uint64(i + 1)
+		miss[i] = 1 - float64(i)/100
+	}
+	c := FromPoints(sizes, miss)
+	d := c.Downsample(10)
+	if d.Len() > 10 {
+		t.Fatalf("downsample len %d", d.Len())
+	}
+	if d.Sizes[0] != 1 || d.Sizes[d.Len()-1] != 100 {
+		t.Fatal("downsample must keep endpoints")
+	}
+	if got := c.Downsample(200); got != c {
+		t.Fatal("downsample below breakpoint count must be identity")
+	}
+}

@@ -1,0 +1,101 @@
+// Package parallel provides the small fan-out helpers used by the
+// evaluation harness: a bounded parallel-for over an index range and a
+// first-error group. The ground-truth MRCs in the paper are obtained
+// by simulating a K-LRU cache at 25-50 independent sizes; those
+// simulations share nothing and scale linearly with cores.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines.
+// workers <= 0 selects GOMAXPROCS. It returns after all calls finish.
+// fn must be safe for concurrent invocation on distinct indices.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var mu sync.Mutex
+	grab := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(n) {
+			return 0, false
+		}
+		i := int(next)
+		next++
+		return i, true
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := grab()
+				if !ok {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Group runs functions concurrently and retains the first error.
+// The zero value is ready to use.
+type Group struct {
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	err  error
+	done bool
+}
+
+// Go launches fn on a new goroutine.
+func (g *Group) Go(fn func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := fn(); err != nil {
+			g.mu.Lock()
+			if !g.done {
+				g.err = err
+				g.done = true
+			}
+			g.mu.Unlock()
+		}
+	}()
+}
+
+// Wait blocks until every launched function returns, then reports the
+// first error observed (or nil).
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
+// Map applies fn to every index in [0, n) with bounded parallelism and
+// collects the results in order.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}

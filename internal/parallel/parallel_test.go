@@ -1,0 +1,87 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		const n = 1000
+		var hits [n]int32
+		ForEach(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachParallelism(t *testing.T) {
+	// With 4 workers at least 2 goroutines must overlap; detect via a
+	// high-water mark of concurrently active calls.
+	var active, peak int32
+	ForEach(64, 4, func(int) {
+		a := atomic.AddInt32(&active, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if a <= p || atomic.CompareAndSwapInt32(&peak, p, a) {
+				break
+			}
+		}
+		for i := 0; i < 1000; i++ { // small spin to encourage overlap
+			_ = i
+		}
+		atomic.AddInt32(&active, -1)
+	})
+	if peak < 2 {
+		t.Skipf("no overlap observed (peak=%d); single-CPU machine?", peak)
+	}
+}
+
+func TestGroupCollectsFirstError(t *testing.T) {
+	var g Group
+	sentinel := errors.New("boom")
+	for i := 0; i < 10; i++ {
+		i := i
+		g.Go(func() error {
+			if i == 3 {
+				return sentinel
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); !errors.Is(err, sentinel) {
+		t.Fatalf("Wait() = %v, want sentinel", err)
+	}
+}
+
+func TestGroupNoError(t *testing.T) {
+	var g Group
+	for i := 0; i < 5; i++ {
+		g.Go(func() error { return nil })
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait() = %v", err)
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	out := Map(100, 8, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package redislike implements a miniature Redis-compatible in-memory
+// cache engine — the §5.7 validation substrate. It reproduces the
+// specific mechanics that make real Redis's "approximated LRU" deviate
+// slightly from an idealized K-LRU simulator:
+//
+//   - a 24-bit wrapping LRU clock with bounded resolution,
+//   - an eviction pool of 16 candidates retained across evictions,
+//   - key sampling via dictGetSomeKeys-style bucket walking, which
+//     returns *correlated* keys (consecutive hash buckets) rather than
+//     an ideal uniform sample; a good-random mode mirrors Redis's
+//     dictGetRandomKey for comparison (§5.7 footnote 3).
+//
+// A minimal RESP/TCP server in server.go exposes the engine over the
+// wire for the end-to-end example.
+package redislike
+
+import "krr/internal/xrand"
+
+// dictEntry is one chained-hash node.
+type dictEntry struct {
+	key  uint64
+	obj  *object
+	next *dictEntry
+}
+
+// dict is a power-of-two chained hash table modeled on Redis's dict.
+// Growth rehashes eagerly (Redis rehashes incrementally; the
+// distinction does not affect eviction behaviour).
+type dict struct {
+	buckets []*dictEntry
+	used    int
+}
+
+func newDict() *dict {
+	return &dict{buckets: make([]*dictEntry, 16)}
+}
+
+func (d *dict) mask() uint64 { return uint64(len(d.buckets) - 1) }
+
+// hashKey mixes the key into a bucket index. Redis uses siphash; any
+// well-mixed function preserves the sampling behaviour.
+func hashKey(key uint64) uint64 {
+	key ^= key >> 33
+	key *= 0xff51afd7ed558ccd
+	key ^= key >> 33
+	key *= 0xc4ceb9fe1a85ec53
+	key ^= key >> 33
+	return key
+}
+
+// find returns the entry for key, or nil.
+func (d *dict) find(key uint64) *dictEntry {
+	for e := d.buckets[hashKey(key)&d.mask()]; e != nil; e = e.next {
+		if e.key == key {
+			return e
+		}
+	}
+	return nil
+}
+
+// set inserts or replaces key's object, returning the previous object
+// (nil if the key is new).
+func (d *dict) set(key uint64, obj *object) *object {
+	idx := hashKey(key) & d.mask()
+	for e := d.buckets[idx]; e != nil; e = e.next {
+		if e.key == key {
+			prev := e.obj
+			e.obj = obj
+			return prev
+		}
+	}
+	d.buckets[idx] = &dictEntry{key: key, obj: obj, next: d.buckets[idx]}
+	d.used++
+	if d.used > len(d.buckets) {
+		d.grow()
+	}
+	return nil
+}
+
+// del removes key, returning its object (nil if absent).
+func (d *dict) del(key uint64) *object {
+	idx := hashKey(key) & d.mask()
+	var prev *dictEntry
+	for e := d.buckets[idx]; e != nil; prev, e = e, e.next {
+		if e.key == key {
+			if prev == nil {
+				d.buckets[idx] = e.next
+			} else {
+				prev.next = e.next
+			}
+			d.used--
+			return e.obj
+		}
+	}
+	return nil
+}
+
+func (d *dict) grow() {
+	old := d.buckets
+	d.buckets = make([]*dictEntry, len(old)*2)
+	for _, e := range old {
+		for e != nil {
+			next := e.next
+			idx := hashKey(e.key) & d.mask()
+			e.next = d.buckets[idx]
+			d.buckets[idx] = e
+			e = next
+		}
+	}
+}
+
+// someKeys emulates dictGetSomeKeys: starting from a random bucket it
+// walks consecutive buckets, appending every chained entry, until
+// count entries are collected or a step budget is exhausted. The
+// returned sample is therefore bucket-correlated — Redis accepts this
+// bias for speed, and it is the cause of the simulator↔Redis MRC
+// deviation observed in §5.7.
+func (d *dict) someKeys(src *xrand.Source, count int, out []*dictEntry) []*dictEntry {
+	out = out[:0]
+	if d.used == 0 || count == 0 {
+		return out
+	}
+	idx := src.Uint64n(uint64(len(d.buckets)))
+	maxSteps := count * 10
+	for steps := 0; len(out) < count && steps < maxSteps; steps++ {
+		for e := d.buckets[idx]; e != nil && len(out) < count; e = e.next {
+			out = append(out, e)
+		}
+		idx = (idx + 1) & d.mask()
+	}
+	return out
+}
+
+// randomKey emulates dictGetRandomKey: a uniform bucket draw repeated
+// until a non-empty bucket is found, then a uniform choice within the
+// chain. Slower than someKeys but a good random sample.
+func (d *dict) randomKey(src *xrand.Source) *dictEntry {
+	if d.used == 0 {
+		return nil
+	}
+	for {
+		e := d.buckets[src.Uint64n(uint64(len(d.buckets)))]
+		if e == nil {
+			continue
+		}
+		n := 0
+		for x := e; x != nil; x = x.next {
+			n++
+		}
+		pick := int(src.Uint64n(uint64(n)))
+		for i := 0; i < pick; i++ {
+			e = e.next
+		}
+		return e
+	}
+}
+
+// forEach visits every entry.
+func (d *dict) forEach(fn func(*dictEntry)) {
+	for _, e := range d.buckets {
+		for ; e != nil; e = e.next {
+			fn(e)
+		}
+	}
+}

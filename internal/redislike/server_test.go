@@ -1,0 +1,162 @@
+package redislike
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	s := NewServer(cfg)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, addr
+}
+
+func TestServerPingSetGetDel(t *testing.T) {
+	_, addr := startServer(t, Config{Seed: 1})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if pong, err := c.Do("PING"); err != nil || pong != "PONG" {
+		t.Fatalf("ping: %q %v", pong, err)
+	}
+	if err := c.Set(42, 100); err != nil {
+		t.Fatal(err)
+	}
+	size, ok, err := c.Get(42)
+	if err != nil || !ok || size != 100 {
+		t.Fatalf("get: size=%d ok=%v err=%v", size, ok, err)
+	}
+	if _, ok, _ := c.Get(999); ok {
+		t.Fatal("missing key must return nil")
+	}
+	if n, err := c.Do("DEL", "42"); err != nil || n != "1" {
+		t.Fatalf("del: %q %v", n, err)
+	}
+	if _, ok, _ := c.Get(42); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestServerDBSizeInfoFlush(t *testing.T) {
+	_, addr := startServer(t, Config{Seed: 1})
+	c, _ := Dial(addr)
+	defer c.Close()
+
+	c.Set(1, 10)
+	c.Set(2, 10)
+	if n, _ := c.Do("DBSIZE"); n != "2" {
+		t.Fatalf("dbsize = %q", n)
+	}
+	info, err := c.Do("INFO")
+	if err != nil || !strings.Contains(info, "keys:2") {
+		t.Fatalf("info: %q %v", info, err)
+	}
+	if _, err := c.Do("FLUSHALL"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := c.Do("DBSIZE"); n != "0" {
+		t.Fatalf("dbsize after flush = %q", n)
+	}
+}
+
+func TestServerStringKeysAndErrors(t *testing.T) {
+	_, addr := startServer(t, Config{Seed: 1})
+	c, _ := Dial(addr)
+	defer c.Close()
+
+	if _, err := c.Do("SET", "user:1001", "payload"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Do("GET", "user:1001")
+	if err != nil || len(v) != len("payload") {
+		t.Fatalf("string key get: %q %v", v, err)
+	}
+	if _, err := c.Do("NOSUCH"); err == nil {
+		t.Fatal("unknown command must error")
+	}
+	if _, err := c.Do("SET", "onlykey"); err == nil {
+		t.Fatal("arity error expected")
+	}
+}
+
+func TestServerEvictionOverRESP(t *testing.T) {
+	const maxMem = 20 * (100 + perKeyOverhead)
+	_, addr := startServer(t, Config{MaxMemory: maxMem, Seed: 3})
+	c, _ := Dial(addr)
+	defer c.Close()
+	for k := uint64(0); k < 200; k++ {
+		if err := c.Set(k, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, _ := c.Do("DBSIZE")
+	if n != "20" && n != "19" && n != "18" {
+		t.Fatalf("dbsize after eviction = %q, want ~20", n)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	_, addr := startServer(t, Config{Seed: 1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			base := uint64(w) * 1000
+			for i := uint64(0); i < 100; i++ {
+				if err := c.Set(base+i, 10); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok, err := c.Get(base + i); err != nil || !ok {
+					t.Errorf("worker %d: lost key %d", w, base+i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestServerQuit(t *testing.T) {
+	_, addr := startServer(t, Config{Seed: 1})
+	c, _ := Dial(addr)
+	if ok, err := c.Do("QUIT"); err != nil || ok != "OK" {
+		t.Fatalf("quit: %q %v", ok, err)
+	}
+	// Connection is closed server-side; the next command fails.
+	if _, err := c.Do("PING"); err == nil {
+		t.Fatal("post-quit command must fail")
+	}
+	c.Close()
+}
+
+func TestInlineCommands(t *testing.T) {
+	// Telnet-style inline commands must parse.
+	_, addr := startServer(t, Config{Seed: 1})
+	c, _ := Dial(addr)
+	defer c.Close()
+	if _, err := c.conn.Write([]byte("PING\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := c.readReply()
+	if err != nil || reply != "PONG" {
+		t.Fatalf("inline ping: %q %v", reply, err)
+	}
+}

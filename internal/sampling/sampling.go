@@ -1,0 +1,119 @@
+// Package sampling implements SHARDS-style uniform spatial sampling
+// (§2.4): a reference to key L is admitted iff
+//
+//	hash(L) mod P < T
+//
+// so the same keys are sampled on every run, every model, and every
+// process, and every reference to a sampled key is admitted. The
+// effective sampling rate is R = T/P. Stack distances measured on the
+// sampled stream are unbiased estimates of actual distance times R, so
+// MRC x-axes are rescaled by 1/R (handled by mrc.FromHistogram).
+package sampling
+
+import (
+	"errors"
+	"io"
+
+	"krr/internal/hashing"
+	"krr/internal/trace"
+)
+
+// Modulus is the fixed P of the sampling condition. A power of two
+// keeps the mod a mask; 2^24 gives rate granularity of ~6e-8.
+const Modulus = 1 << 24
+
+// Filter is a deterministic spatial sampling filter. The zero value
+// samples nothing; use New or NewRate.
+type Filter struct {
+	threshold uint64
+}
+
+// New returns a filter with an explicit threshold T in [0, Modulus].
+func New(threshold uint64) *Filter {
+	if threshold > Modulus {
+		threshold = Modulus
+	}
+	return &Filter{threshold: threshold}
+}
+
+// NewRate returns a filter with rate ~= rate (clamped to [0, 1]).
+func NewRate(rate float64) *Filter {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return New(uint64(rate*Modulus + 0.5))
+}
+
+// Rate returns the effective sampling rate T/P.
+func (f *Filter) Rate() float64 { return float64(f.threshold) / Modulus }
+
+// Threshold returns T.
+func (f *Filter) Threshold() uint64 { return f.threshold }
+
+// Sampled reports whether key passes the sampling condition.
+func (f *Filter) Sampled(key uint64) bool {
+	return hashing.Mix64(key)%Modulus < f.threshold
+}
+
+// Reader returns a trace.Reader yielding only sampled requests.
+func (f *Filter) Reader(r trace.Reader) trace.Reader {
+	return trace.FuncReader(func() (trace.Request, error) {
+		for {
+			req, err := r.Next()
+			if err != nil {
+				return trace.Request{}, err
+			}
+			if f.Sampled(req.Key) {
+				return req, nil
+			}
+		}
+	})
+}
+
+// Sample drains r and returns the sampled subset as an in-memory
+// trace together with the count of input requests seen.
+func (f *Filter) Sample(r trace.Reader) (*trace.Trace, int, error) {
+	out := &trace.Trace{}
+	seen := 0
+	for {
+		req, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, seen, nil
+		}
+		if err != nil {
+			return nil, seen, err
+		}
+		seen++
+		if f.Sampled(req.Key) {
+			out.Append(req)
+		}
+	}
+}
+
+// DefaultRate is the paper's default spatial sampling rate (§4.4).
+const DefaultRate = 0.001
+
+// MinSampledObjects is the accuracy floor from §5.3: the rate is
+// raised for small workloads so that at least this many distinct
+// objects are expected in the sample.
+const MinSampledObjects = 8192
+
+// RateFor returns the sampling rate for a workload with the given
+// number of distinct objects: DefaultRate, raised as needed to keep
+// the expected sampled-object count at or above MinSampledObjects,
+// and clamped to 1.
+func RateFor(distinctObjects int) float64 {
+	r := DefaultRate
+	if distinctObjects > 0 {
+		if need := float64(MinSampledObjects) / float64(distinctObjects); need > r {
+			r = need
+		}
+	}
+	if r > 1 {
+		r = 1
+	}
+	return r
+}

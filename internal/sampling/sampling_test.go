@@ -1,0 +1,125 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"krr/internal/trace"
+)
+
+func TestRateClamping(t *testing.T) {
+	if NewRate(-1).Rate() != 0 {
+		t.Fatal("negative rate must clamp to 0")
+	}
+	if NewRate(2).Rate() != 1 {
+		t.Fatal("rate > 1 must clamp to 1")
+	}
+	if got := NewRate(0.001).Rate(); math.Abs(got-0.001) > 1e-6 {
+		t.Fatalf("rate = %v", got)
+	}
+	if New(Modulus+5).Threshold() != Modulus {
+		t.Fatal("threshold must clamp to Modulus")
+	}
+}
+
+func TestSampledDeterministic(t *testing.T) {
+	f := NewRate(0.1)
+	g := NewRate(0.1)
+	for k := uint64(0); k < 1000; k++ {
+		if f.Sampled(k) != g.Sampled(k) {
+			t.Fatal("sampling must be deterministic")
+		}
+	}
+}
+
+func TestSampledRateEmpirical(t *testing.T) {
+	f := NewRate(0.01)
+	const n = 500000
+	hit := 0
+	for k := uint64(0); k < n; k++ {
+		if f.Sampled(k) {
+			hit++
+		}
+	}
+	got := float64(hit) / n
+	if math.Abs(got-0.01) > 0.002 {
+		t.Fatalf("empirical rate %v, want ~0.01", got)
+	}
+}
+
+func TestSubsetProperty(t *testing.T) {
+	// A lower-rate filter must sample a subset of a higher-rate one —
+	// the property SHARDS relies on for rate adaptation.
+	lo, hi := NewRate(0.01), NewRate(0.1)
+	for k := uint64(0); k < 100000; k++ {
+		if lo.Sampled(k) && !hi.Sampled(k) {
+			t.Fatalf("key %d sampled at 0.01 but not at 0.1", k)
+		}
+	}
+}
+
+func TestZeroAndFullFilter(t *testing.T) {
+	zero, full := NewRate(0), NewRate(1)
+	for k := uint64(0); k < 1000; k++ {
+		if zero.Sampled(k) {
+			t.Fatal("zero-rate filter sampled a key")
+		}
+		if !full.Sampled(k) {
+			t.Fatal("full-rate filter rejected a key")
+		}
+	}
+}
+
+func TestReaderFiltersConsistently(t *testing.T) {
+	tr := &trace.Trace{}
+	for i := 0; i < 10000; i++ {
+		tr.Append(trace.Request{Key: uint64(i % 500), Size: 1})
+	}
+	f := NewRate(0.05)
+	got, err := trace.ReadAll(f.Reader(tr.Reader()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every reference to a sampled key must appear; none to unsampled.
+	want := 0
+	for _, r := range tr.Reqs {
+		if f.Sampled(r.Key) {
+			want++
+		}
+	}
+	if got.Len() != want {
+		t.Fatalf("filtered %d, want %d", got.Len(), want)
+	}
+	for _, r := range got.Reqs {
+		if !f.Sampled(r.Key) {
+			t.Fatal("unsampled key leaked through")
+		}
+	}
+}
+
+func TestSampleCountsInput(t *testing.T) {
+	tr := &trace.Trace{}
+	for i := 0; i < 321; i++ {
+		tr.Append(trace.Request{Key: uint64(i)})
+	}
+	_, seen, err := NewRate(0.5).Sample(tr.Reader())
+	if err != nil || seen != 321 {
+		t.Fatalf("seen=%d err=%v", seen, err)
+	}
+}
+
+func TestRateFor(t *testing.T) {
+	if got := RateFor(100_000_000); got != DefaultRate {
+		t.Fatalf("large workload rate %v, want default", got)
+	}
+	// 8K floor: a 80K-object workload needs rate 0.1024 -> ~0.1.
+	if got := RateFor(80_000); math.Abs(got-float64(MinSampledObjects)/80000) > 1e-9 {
+		t.Fatalf("small workload rate %v", got)
+	}
+	if got := RateFor(100); got != 1 {
+		t.Fatalf("tiny workload rate %v, want 1", got)
+	}
+	if got := RateFor(0); got != DefaultRate {
+		t.Fatalf("unknown size rate %v, want default", got)
+	}
+}

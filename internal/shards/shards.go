@@ -1,0 +1,238 @@
+// Package shards implements SHARDS (Waldspurger et al., FAST '15) —
+// the spatially-sampled exact-LRU MRC approximation the paper uses
+// both as its sampling technique (§2.4) and as the baseline LRU model
+// KRR's runtime is compared against (Table 5.4).
+//
+// Two variants are provided:
+//
+//   - FixedRate: the sampling condition hash(L) mod P < T with a
+//     constant threshold; distances are measured on the sampled
+//     stream with an Olken tree and rescaled by 1/R.
+//   - FixedSize: SHARDS_adj's bounded-memory mode — the threshold is
+//     lowered whenever the sample set exceeds sMax, evicting keys
+//     whose hash no longer qualifies; each distance is rescaled by
+//     the rate in force when it was recorded.
+package shards
+
+import (
+	"errors"
+	"io"
+	"sort"
+
+	"krr/internal/hashing"
+	"krr/internal/mrc"
+	"krr/internal/olken"
+	"krr/internal/sampling"
+	"krr/internal/trace"
+)
+
+// FixedRate is constant-rate SHARDS.
+type FixedRate struct {
+	filter *sampling.Filter
+	prof   *olken.Profiler
+	seen   uint64
+	// adjust adds the SHARDS_adj correction: the difference between
+	// the expected and actual sampled reference counts is credited to
+	// the smallest-distance bucket, correcting the miss-ratio
+	// normalization for sampling deviation.
+	adjust bool
+}
+
+// NewFixedRate builds a fixed-rate SHARDS model. rate must be in
+// (0, 1]; adjust enables the SHARDS_adj count correction.
+func NewFixedRate(rate float64, seed uint64, adjust bool) *FixedRate {
+	if rate <= 0 || rate > 1 {
+		panic("shards: rate must be in (0, 1]")
+	}
+	return &FixedRate{
+		filter: sampling.NewRate(rate),
+		prof:   olken.NewProfiler(seed),
+		adjust: adjust,
+	}
+}
+
+// Rate returns the effective sampling rate.
+func (s *FixedRate) Rate() float64 { return s.filter.Rate() }
+
+// Process feeds one request.
+func (s *FixedRate) Process(req trace.Request) {
+	s.seen++
+	if !s.filter.Sampled(req.Key) {
+		return
+	}
+	s.prof.Process(req)
+}
+
+// ProcessAll drains a reader.
+func (s *FixedRate) ProcessAll(r trace.Reader) error {
+	for {
+		req, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		s.Process(req)
+	}
+}
+
+// MRC returns the approximated exact-LRU curve over object cache
+// sizes.
+func (s *FixedRate) MRC() *mrc.Curve {
+	hist := s.prof.ObjHist()
+	if s.adjust {
+		expected := uint64(float64(s.seen)*s.filter.Rate() + 0.5)
+		actual := hist.Total()
+		if expected > actual {
+			// Credit the shortfall to distance 1: under-sampling means
+			// short-distance references were missed.
+			for i := actual; i < expected; i++ {
+				hist.Add(1)
+			}
+		}
+	}
+	return mrc.FromHistogram(hist, 1/s.filter.Rate())
+}
+
+// ByteMRC returns the curve over byte cache sizes.
+func (s *FixedRate) ByteMRC() *mrc.Curve {
+	return mrc.FromHistogram(s.prof.ByteHist(), 1/s.filter.Rate())
+}
+
+// FixedSize is bounded-memory SHARDS: at most sMax sampled objects are
+// tracked, with the sampling threshold lowered as needed.
+type FixedSize struct {
+	sMax      int
+	threshold uint64 // current T; sampling condition hash mod P < T
+	stack     *olken.Stack
+	hashes    map[uint64]uint64 // key -> hash mod P, for eviction
+	// hist accumulates (rescaled distance, weight) pairs; weights are
+	// 1/R at record time since one sampled reference stands for 1/R
+	// unsampled ones.
+	hist   map[uint64]float64
+	coldW  float64
+	totalW float64
+	seen   uint64
+}
+
+// NewFixedSize builds a fixed-size SHARDS model starting at rate
+// startRate with a cap of sMax tracked objects.
+func NewFixedSize(startRate float64, sMax int, seed uint64) *FixedSize {
+	if startRate <= 0 || startRate > 1 {
+		panic("shards: startRate must be in (0, 1]")
+	}
+	if sMax < 2 {
+		panic("shards: sMax must be >= 2")
+	}
+	return &FixedSize{
+		sMax:      sMax,
+		threshold: uint64(startRate*sampling.Modulus + 0.5),
+		stack:     olken.New(seed),
+		hashes:    make(map[uint64]uint64),
+		hist:      make(map[uint64]float64),
+	}
+}
+
+// Rate returns the current effective sampling rate.
+func (s *FixedSize) Rate() float64 {
+	return float64(s.threshold) / sampling.Modulus
+}
+
+// TrackedObjects returns the current sample-set size.
+func (s *FixedSize) TrackedObjects() int { return s.stack.Len() }
+
+// Process feeds one request.
+func (s *FixedSize) Process(req trace.Request) {
+	s.seen++
+	h := hashing.Mix64(req.Key) % sampling.Modulus
+	if h >= s.threshold {
+		return
+	}
+	if req.Op == trace.OpDelete {
+		if s.stack.Delete(req.Key) {
+			delete(s.hashes, req.Key)
+		}
+		return
+	}
+	rate := s.Rate()
+	res := s.stack.Reference(req.Key, req.Size)
+	s.hashes[req.Key] = h
+	w := 1 / rate
+	s.totalW += w
+	if res.Cold {
+		s.coldW += w
+		s.shrinkIfNeeded()
+		return
+	}
+	d := uint64(float64(res.Distance)/rate + 0.5)
+	if d == 0 {
+		d = 1
+	}
+	s.hist[d] += w
+}
+
+// shrinkIfNeeded lowers the threshold until the sample set fits sMax,
+// evicting objects whose hash no longer qualifies.
+func (s *FixedSize) shrinkIfNeeded() {
+	for s.stack.Len() > s.sMax {
+		// New threshold: the maximum resident hash (exclusive bound).
+		var maxHash uint64
+		for _, h := range s.hashes {
+			if h > maxHash {
+				maxHash = h
+			}
+		}
+		s.threshold = maxHash // strictly lowers: at least one key has h == maxHash
+		for key, h := range s.hashes {
+			if h >= s.threshold {
+				s.stack.Delete(key)
+				delete(s.hashes, key)
+			}
+		}
+	}
+}
+
+// ProcessAll drains a reader.
+func (s *FixedSize) ProcessAll(r trace.Reader) error {
+	for {
+		req, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		s.Process(req)
+	}
+}
+
+// MRC returns the approximated exact-LRU curve.
+func (s *FixedSize) MRC() *mrc.Curve {
+	if s.totalW == 0 {
+		return &mrc.Curve{Sizes: []uint64{0}, Miss: []float64{1}, Interp: mrc.InterpStep}
+	}
+	dists := make([]uint64, 0, len(s.hist))
+	for d := range s.hist {
+		dists = append(dists, d)
+	}
+	sort.Slice(dists, func(i, j int) bool { return dists[i] < dists[j] })
+	c := &mrc.Curve{Sizes: []uint64{0}, Miss: []float64{1}, Interp: mrc.InterpStep}
+	var cum float64
+	for _, d := range dists {
+		cum += s.hist[d]
+		c.Sizes = append(c.Sizes, d)
+		c.Miss = append(c.Miss, clamp01(1-cum/s.totalW))
+	}
+	return c
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,163 @@
+package shards
+
+import (
+	"testing"
+
+	"krr/internal/mrc"
+	"krr/internal/olken"
+	"krr/internal/trace"
+	"krr/internal/workload"
+)
+
+func zipfTrace(seed uint64, keys uint64, n int) *trace.Trace {
+	g := workload.NewZipf(seed, keys, 0.8, nil, 0)
+	tr, _ := trace.Collect(g, n)
+	return tr
+}
+
+func TestFixedRateApproximatesExactLRU(t *testing.T) {
+	tr := zipfTrace(3, 50000, 300000)
+
+	exact := olken.NewProfiler(1)
+	if err := exact.ProcessAll(tr.Reader()); err != nil {
+		t.Fatal(err)
+	}
+	truth := exact.ObjectMRC(1)
+
+	s := NewFixedRate(0.3, 2, false)
+	if err := s.ProcessAll(tr.Reader()); err != nil {
+		t.Fatal(err)
+	}
+	approx := s.MRC()
+
+	sizes := mrc.EvenSizes(50000, 25)
+	if mae := mrc.MAE(truth, approx, sizes); mae > 0.03 {
+		t.Fatalf("fixed-rate SHARDS MAE %v vs exact LRU", mae)
+	}
+}
+
+func TestFixedRateAdjustImprovesNormalization(t *testing.T) {
+	tr := zipfTrace(5, 20000, 100000)
+	plain := NewFixedRate(0.1, 2, false)
+	adj := NewFixedRate(0.1, 2, true)
+	plain.ProcessAll(tr.Reader())
+	adj.ProcessAll(tr.Reader())
+	// The adjusted histogram total must be >= the plain one and close
+	// to seen × rate.
+	if adj.prof.ObjHist().Total() < plain.prof.ObjHist().Total() {
+		t.Fatal("adjustment removed mass")
+	}
+	want := float64(100000) * 0.1
+	got := float64(adj.prof.ObjHist().Total())
+	if got < want*0.999 {
+		t.Fatalf("adjusted total %v, want >= %v", got, want)
+	}
+}
+
+func TestFixedRatePanics(t *testing.T) {
+	for _, rate := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("rate %v: expected panic", rate)
+				}
+			}()
+			NewFixedRate(rate, 1, false)
+		}()
+	}
+}
+
+func TestFixedSizeBoundsSampleSet(t *testing.T) {
+	const sMax = 500
+	s := NewFixedSize(1.0, sMax, 3)
+	g := workload.NewZipf(7, 100000, 0.8, nil, 0)
+	if err := s.ProcessAll(trace.LimitReader(g, 200000)); err != nil {
+		t.Fatal(err)
+	}
+	if s.TrackedObjects() > sMax {
+		t.Fatalf("tracked %d > sMax %d", s.TrackedObjects(), sMax)
+	}
+	if s.Rate() >= 1.0 {
+		t.Fatal("rate must have been lowered")
+	}
+}
+
+func TestFixedSizeCurveReasonable(t *testing.T) {
+	tr := zipfTrace(9, 30000, 200000)
+
+	exact := olken.NewProfiler(1)
+	exact.ProcessAll(tr.Reader())
+	truth := exact.ObjectMRC(1)
+
+	s := NewFixedSize(1.0, 2000, 4)
+	if err := s.ProcessAll(tr.Reader()); err != nil {
+		t.Fatal(err)
+	}
+	approx := s.MRC()
+	sizes := mrc.EvenSizes(30000, 20)
+	if mae := mrc.MAE(truth, approx, sizes); mae > 0.06 {
+		t.Fatalf("fixed-size SHARDS MAE %v", mae)
+	}
+}
+
+func TestFixedSizeDeleteHandling(t *testing.T) {
+	s := NewFixedSize(1.0, 100, 1)
+	s.Process(trace.Request{Key: 1, Size: 1, Op: trace.OpGet})
+	s.Process(trace.Request{Key: 1, Op: trace.OpDelete})
+	if s.TrackedObjects() != 0 {
+		t.Fatal("delete must remove from sample set")
+	}
+	// Unknown key delete is a no-op.
+	s.Process(trace.Request{Key: 99, Op: trace.OpDelete})
+}
+
+func TestFixedSizeEmptyMRC(t *testing.T) {
+	s := NewFixedSize(0.5, 10, 1)
+	c := s.MRC()
+	if c.Eval(100) != 1 {
+		t.Fatal("empty model must predict all-miss")
+	}
+}
+
+func TestFixedSizePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewFixedSize(0, 10, 1) },
+		func() { NewFixedSize(0.5, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFixedRateByteMRC(t *testing.T) {
+	g := workload.NewTwitterLike(3, workload.TwitterParams{Keys: 5000, Alpha: 1.0})
+	tr, _ := trace.Collect(g, 50000)
+	s := NewFixedRate(0.5, 2, false)
+	s.ProcessAll(tr.Reader())
+	c := s.ByteMRC()
+	if c.Len() < 2 {
+		t.Fatal("byte curve empty")
+	}
+	if c.Eval(0) != 1 {
+		t.Fatal("byte curve must start at 1")
+	}
+}
+
+func BenchmarkFixedRateProcess(b *testing.B) {
+	s := NewFixedRate(0.01, 1, false)
+	g := workload.NewZipf(3, 1<<20, 1.0, nil, 0)
+	reqs := make([]trace.Request, 1<<16)
+	for i := range reqs {
+		reqs[i], _ = g.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Process(reqs[i&(1<<16-1)])
+	}
+}

@@ -1,0 +1,135 @@
+package simulator
+
+// Belady's OPT (MIN) — the clairvoyant optimal replacement policy.
+// OPT is the classic lower bound any MRC study is read against: a
+// stack algorithm in Mattson's sense (§2.2, with priority = time of
+// next reference), here implemented as a two-pass simulation — one
+// backward pass to compute each request's next-use time, then a
+// per-size simulation that evicts the resident object referenced
+// farthest in the future.
+
+import (
+	"container/heap"
+
+	"krr/internal/mrc"
+	"krr/internal/trace"
+)
+
+// infiniteNextUse marks an object never referenced again.
+const infiniteNextUse = int64(1) << 62
+
+// NextUses computes, for each request index, the index of the next
+// request to the same key (or infiniteNextUse). Delete requests sever
+// the chain: the access before a delete has no next use.
+func NextUses(tr *trace.Trace) []int64 {
+	next := make([]int64, tr.Len())
+	lastSeen := make(map[uint64]int64, 1024)
+	for i := tr.Len() - 1; i >= 0; i-- {
+		req := tr.Reqs[i]
+		if req.Op == trace.OpDelete {
+			// Whatever was seen after the delete is unreachable from
+			// before it.
+			delete(lastSeen, req.Key)
+			next[i] = infiniteNextUse
+			continue
+		}
+		if j, ok := lastSeen[req.Key]; ok {
+			next[i] = j
+		} else {
+			next[i] = infiniteNextUse
+		}
+		lastSeen[req.Key] = int64(i)
+	}
+	return next
+}
+
+// optEntry is one resident object in the OPT cache's eviction heap.
+type optEntry struct {
+	key     uint64
+	nextUse int64
+}
+
+// optHeap is a max-heap on next-use time (evict the farthest future).
+type optHeap []optEntry
+
+func (h optHeap) Len() int            { return len(h) }
+func (h optHeap) Less(i, j int) bool  { return h[i].nextUse > h[j].nextUse }
+func (h optHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *optHeap) Push(x interface{}) { *h = append(*h, x.(optEntry)) }
+func (h *optHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// OPTMissRatio simulates Belady's optimal policy at one object
+// capacity and returns the miss ratio. Entries in the heap may be
+// stale (an object's next use advances when it is re-referenced); a
+// popped victim whose recorded next use disagrees with the current
+// table is discarded and the pop retried — the standard lazy-deletion
+// trick, keeping the whole run O(N log N).
+func OPTMissRatio(tr *trace.Trace, capacity int, next []int64) float64 {
+	if capacity <= 0 {
+		return 1
+	}
+	resident := make(map[uint64]int64, capacity) // key -> current next use
+	h := &optHeap{}
+	var hits, total int
+	for i, req := range tr.Reqs {
+		if req.Op == trace.OpDelete {
+			delete(resident, req.Key)
+			continue
+		}
+		total++
+		nu := next[i]
+		if _, ok := resident[req.Key]; ok {
+			hits++
+			resident[req.Key] = nu
+			heap.Push(h, optEntry{key: req.Key, nextUse: nu})
+			continue
+		}
+		// Miss. An object never used again need not be cached — OPT
+		// bypasses it (this cannot increase misses).
+		if nu == infiniteNextUse {
+			continue
+		}
+		for len(resident) >= capacity {
+			victim := heap.Pop(h).(optEntry)
+			cur, ok := resident[victim.key]
+			if !ok || cur != victim.nextUse {
+				continue // stale heap entry
+			}
+			delete(resident, victim.key)
+		}
+		resident[req.Key] = nu
+		heap.Push(h, optEntry{key: req.Key, nextUse: nu})
+	}
+	if total == 0 {
+		return 1
+	}
+	return 1 - float64(hits)/float64(total)
+}
+
+// OPTMRC sweeps Belady's policy across the given capacities in
+// parallel and returns the optimal miss ratio curve.
+func OPTMRC(tr *trace.Trace, sizes []uint64, workers int) *mrc.Curve {
+	next := NextUses(tr)
+	miss := make([]float64, len(sizes))
+	sem := make(chan struct{}, workersOrDefault(workers))
+	done := make(chan struct{})
+	for i := range sizes {
+		i := i
+		go func() {
+			sem <- struct{}{}
+			miss[i] = OPTMissRatio(tr, int(sizes[i]), next)
+			<-sem
+			done <- struct{}{}
+		}()
+	}
+	for range sizes {
+		<-done
+	}
+	return mrc.FromPoints(sizes, miss)
+}

@@ -1,0 +1,230 @@
+package simulator
+
+// Generalized random sampling-based replacement — the paper's future
+// work (§7): "we will investigate other random-sampling policies
+// which use other metrics, such as access frequency and object
+// expiration time, as priority functions." This file provides the
+// simulator side of that direction: a sampled-eviction cache with a
+// pluggable priority function, covering
+//
+//   - recency (K-LRU, identical behaviour to KLRU),
+//   - frequency (sampled LFU — Redis's allkeys-lfu),
+//   - hyperbolic caching (Blankstein et al., ATC '17: frequency/age),
+//   - expiration time (evict the sample's soonest-to-expire object,
+//     Redis's volatile-ttl).
+//
+// On eviction the cache samples K resident objects (with replacement)
+// and evicts the sample's lowest-priority object.
+
+import (
+	"krr/internal/trace"
+	"krr/internal/xrand"
+)
+
+// EntryInfo is the per-object metadata visible to priority functions.
+type EntryInfo struct {
+	Key        uint64
+	Size       uint32
+	LastAccess uint64 // logical time of last touch
+	InsertTime uint64 // logical time of insertion
+	Freq       uint32 // access count since insertion (saturating)
+	Expiry     uint64 // logical expiry time; 0 = never
+}
+
+// Priority scores an entry for eviction; among a sample, the entry
+// with the LOWEST score is evicted.
+type Priority interface {
+	Score(e EntryInfo, now uint64) float64
+	Name() string
+}
+
+// Recency evicts the least recently used of the sample — K-LRU.
+type Recency struct{}
+
+// Score returns the last-access time.
+func (Recency) Score(e EntryInfo, _ uint64) float64 { return float64(e.LastAccess) }
+
+// Name identifies the policy.
+func (Recency) Name() string { return "lru" }
+
+// Frequency evicts the least frequently used of the sample (sampled
+// LFU). Decay > 0 ages the count by the entry's idle time, mirroring
+// Redis's lfu-decay-time: score = freq / (1 + idle·Decay).
+type Frequency struct {
+	Decay float64
+}
+
+// Score returns the (optionally aged) access frequency.
+func (f Frequency) Score(e EntryInfo, now uint64) float64 {
+	s := float64(e.Freq)
+	if f.Decay > 0 && now > e.LastAccess {
+		s /= 1 + float64(now-e.LastAccess)*f.Decay
+	}
+	return s
+}
+
+// Name identifies the policy.
+func (Frequency) Name() string { return "lfu" }
+
+// Hyperbolic evicts by frequency-per-lifetime: freq / (now - insert).
+// Unlike LFU it lets young objects prove themselves.
+type Hyperbolic struct{}
+
+// Score returns frequency divided by age.
+func (Hyperbolic) Score(e EntryInfo, now uint64) float64 {
+	age := float64(now-e.InsertTime) + 1
+	return float64(e.Freq) / age
+}
+
+// Name identifies the policy.
+func (Hyperbolic) Name() string { return "hyperbolic" }
+
+// TTL evicts the sample's soonest-to-expire object; objects without
+// an expiry are preferred-to-keep.
+type TTL struct{}
+
+// Score returns time-to-expiry (never-expiring objects score highest).
+func (TTL) Score(e EntryInfo, now uint64) float64 {
+	if e.Expiry == 0 {
+		return 1e300
+	}
+	if e.Expiry <= now {
+		return -1e300 // already expired: evict first
+	}
+	return float64(e.Expiry - now)
+}
+
+// Name identifies the policy.
+func (TTL) Name() string { return "ttl" }
+
+// SampledConfig assembles a Sampled cache.
+type SampledConfig struct {
+	Capacity Capacity
+	// K is the eviction sample size (>= 1).
+	K int
+	// Priority ranks sampled entries (required).
+	Priority Priority
+	// TTLOf, when set, assigns a relative expiry (in logical time
+	// units) to each inserted object; 0 means never expires.
+	TTLOf func(key uint64) uint64
+	// Seed fixes the sampling randomness.
+	Seed uint64
+}
+
+// Sampled is a random sampling-based cache with a pluggable priority.
+type Sampled struct {
+	cfg SampledConfig
+	src *xrand.Source
+
+	entries []EntryInfo
+	index   map[uint64]int32
+	clock   uint64
+	used    uint64
+}
+
+// NewSampled builds the cache.
+func NewSampled(cfg SampledConfig) *Sampled {
+	cfg.Capacity.validate()
+	if cfg.K < 1 {
+		panic("simulator: SampledConfig.K must be >= 1")
+	}
+	if cfg.Priority == nil {
+		panic("simulator: SampledConfig.Priority is required")
+	}
+	return &Sampled{cfg: cfg, src: xrand.New(cfg.Seed), index: make(map[uint64]int32)}
+}
+
+// Len returns the number of resident objects.
+func (c *Sampled) Len() int { return len(c.entries) }
+
+// UsedBytes returns the resident byte total.
+func (c *Sampled) UsedBytes() uint64 { return c.used }
+
+// Contains reports residency.
+func (c *Sampled) Contains(key uint64) bool {
+	_, ok := c.index[key]
+	return ok
+}
+
+// Access processes one request.
+func (c *Sampled) Access(req trace.Request) bool {
+	c.clock++
+	if req.Op == trace.OpDelete {
+		if idx, ok := c.index[req.Key]; ok {
+			c.removeAt(idx)
+		}
+		return false
+	}
+	if idx, ok := c.index[req.Key]; ok {
+		e := &c.entries[idx]
+		// Expired objects behave as misses (lazy expiry, like Redis).
+		if e.Expiry != 0 && e.Expiry <= c.clock {
+			c.removeAt(idx)
+		} else {
+			e.LastAccess = c.clock
+			if e.Freq < ^uint32(0) {
+				e.Freq++
+			}
+			if e.Size != req.Size {
+				c.used += uint64(req.Size) - uint64(e.Size)
+				e.Size = req.Size
+				c.evictToFit(0)
+			}
+			return true
+		}
+	}
+	if c.cfg.Capacity.Bytes > 0 && uint64(req.Size) > c.cfg.Capacity.Bytes {
+		return false
+	}
+	c.evictToFit(uint64(req.Size))
+	e := EntryInfo{
+		Key: req.Key, Size: req.Size,
+		LastAccess: c.clock, InsertTime: c.clock, Freq: 1,
+	}
+	if c.cfg.TTLOf != nil {
+		if ttl := c.cfg.TTLOf(req.Key); ttl > 0 {
+			e.Expiry = c.clock + ttl
+		}
+	}
+	c.index[req.Key] = int32(len(c.entries))
+	c.entries = append(c.entries, e)
+	c.used += uint64(req.Size)
+	return false
+}
+
+func (c *Sampled) evictToFit(incoming uint64) {
+	if c.cfg.Capacity.Objects > 0 {
+		for len(c.entries) > 0 && len(c.entries)+boolToInt(incoming > 0) > c.cfg.Capacity.Objects {
+			c.evictOne()
+		}
+		return
+	}
+	for len(c.entries) > 0 && c.used+incoming > c.cfg.Capacity.Bytes {
+		c.evictOne()
+	}
+}
+
+func (c *Sampled) evictOne() {
+	n := uint64(len(c.entries))
+	victim := int32(c.src.Uint64n(n))
+	best := c.cfg.Priority.Score(c.entries[victim], c.clock)
+	for i := 1; i < c.cfg.K; i++ {
+		cand := int32(c.src.Uint64n(n))
+		if s := c.cfg.Priority.Score(c.entries[cand], c.clock); s < best {
+			victim, best = cand, s
+		}
+	}
+	c.removeAt(victim)
+}
+
+func (c *Sampled) removeAt(idx int32) {
+	e := c.entries[idx]
+	c.used -= uint64(e.Size)
+	delete(c.index, e.Key)
+	last := int32(len(c.entries) - 1)
+	if idx != last {
+		c.entries[idx] = c.entries[last]
+		c.index[c.entries[idx].Key] = idx
+	}
+	c.entries = c.entries[:last]
+}

@@ -1,0 +1,219 @@
+package simulator
+
+import (
+	"math"
+	"testing"
+
+	"krr/internal/trace"
+	"krr/internal/workload"
+)
+
+func runSampled(t *testing.T, cfg SampledConfig, tr *trace.Trace) (Stats, *Sampled) {
+	t.Helper()
+	c := NewSampled(cfg)
+	st, err := Run(c, tr.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, c
+}
+
+func TestSampledRecencyMatchesKLRU(t *testing.T) {
+	// With the Recency priority the Sampled cache is the same policy
+	// as KLRU; miss ratios must agree statistically.
+	g := workload.NewZipf(3, 4000, 0.9, nil, 0)
+	tr, _ := trace.Collect(g, 80000)
+	const cap, k = 800, 5
+	recency, _ := runSampled(t, SampledConfig{
+		Capacity: ObjectCapacity(cap), K: k, Priority: Recency{}, Seed: 1,
+	}, tr)
+	klru, err := Run(NewKLRU(ObjectCapacity(cap), k, true, 2), tr.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(recency.MissRatio() - klru.MissRatio()); diff > 0.02 {
+		t.Fatalf("recency-sampled %v vs KLRU %v", recency.MissRatio(), klru.MissRatio())
+	}
+}
+
+func TestSampledLFUKeepsHotKeys(t *testing.T) {
+	// Hot keys accessed 100× more than cold ones must survive an LFU
+	// eviction storm even after a long cold scan (where LRU would
+	// evict them).
+	const hot = 50
+	c := NewSampled(SampledConfig{
+		Capacity: ObjectCapacity(200), K: 10, Priority: Frequency{}, Seed: 3,
+	})
+	for round := 0; round < 100; round++ {
+		for k := uint64(0); k < hot; k++ {
+			c.Access(trace.Request{Key: k, Size: 1})
+		}
+	}
+	// Scan 10k cold keys.
+	for k := uint64(1000); k < 11000; k++ {
+		c.Access(trace.Request{Key: k, Size: 1})
+	}
+	survivors := 0
+	for k := uint64(0); k < hot; k++ {
+		if c.Contains(k) {
+			survivors++
+		}
+	}
+	if survivors < hot*9/10 {
+		t.Fatalf("only %d/%d hot keys survived LFU scan", survivors, hot)
+	}
+}
+
+func TestSampledLRUEvictedByScan(t *testing.T) {
+	// Contrast: recency priority loses the hot set to the same scan.
+	const hot = 50
+	c := NewSampled(SampledConfig{
+		Capacity: ObjectCapacity(200), K: 10, Priority: Recency{}, Seed: 3,
+	})
+	for round := 0; round < 100; round++ {
+		for k := uint64(0); k < hot; k++ {
+			c.Access(trace.Request{Key: k, Size: 1})
+		}
+	}
+	for k := uint64(1000); k < 11000; k++ {
+		c.Access(trace.Request{Key: k, Size: 1})
+	}
+	survivors := 0
+	for k := uint64(0); k < hot; k++ {
+		if c.Contains(k) {
+			survivors++
+		}
+	}
+	if survivors > hot/2 {
+		t.Fatalf("%d/%d hot keys survived an LRU scan — expected thrash", survivors, hot)
+	}
+}
+
+func TestFrequencyDecayAges(t *testing.T) {
+	e := EntryInfo{Freq: 100, LastAccess: 0}
+	noDecay := Frequency{}
+	decay := Frequency{Decay: 0.01}
+	if noDecay.Score(e, 1000) != 100 {
+		t.Fatal("no-decay score must equal freq")
+	}
+	if got := decay.Score(e, 1000); got >= 100 || got <= 0 {
+		t.Fatalf("decayed score %v", got)
+	}
+}
+
+func TestHyperbolicPrefersProvenObjects(t *testing.T) {
+	h := Hyperbolic{}
+	old := EntryInfo{Freq: 100, InsertTime: 0}   // 100 hits over 1000 ticks
+	young := EntryInfo{Freq: 2, InsertTime: 990} // 2 hits over 10 ticks
+	// Hyperbolic score: old = 100/1001 ≈ 0.1, young = 2/11 ≈ 0.18 —
+	// the young object has a better rate and is kept.
+	if h.Score(old, 1000) >= h.Score(young, 1000) {
+		t.Fatal("hyperbolic must rate the young fast-burner higher")
+	}
+}
+
+func TestTTLPriorityOrdering(t *testing.T) {
+	p := TTL{}
+	never := EntryInfo{Expiry: 0}
+	soon := EntryInfo{Expiry: 110}
+	later := EntryInfo{Expiry: 500}
+	expired := EntryInfo{Expiry: 50}
+	now := uint64(100)
+	if !(p.Score(expired, now) < p.Score(soon, now) &&
+		p.Score(soon, now) < p.Score(later, now) &&
+		p.Score(later, now) < p.Score(never, now)) {
+		t.Fatal("TTL ordering wrong")
+	}
+}
+
+func TestSampledTTLEviction(t *testing.T) {
+	// Keys 0..99 expire quickly; 100..199 never. Under TTL priority
+	// with eviction pressure, the expiring keys go first.
+	c := NewSampled(SampledConfig{
+		Capacity: ObjectCapacity(150), K: 10, Priority: TTL{}, Seed: 5,
+		TTLOf: func(key uint64) uint64 {
+			if key < 100 {
+				return 50
+			}
+			return 0
+		},
+	})
+	for k := uint64(0); k < 200; k++ {
+		c.Access(trace.Request{Key: k, Size: 1})
+	}
+	persistent := 0
+	for k := uint64(100); k < 200; k++ {
+		if c.Contains(k) {
+			persistent++
+		}
+	}
+	if persistent < 90 {
+		t.Fatalf("only %d/100 persistent keys survived TTL eviction", persistent)
+	}
+}
+
+func TestSampledLazyExpiry(t *testing.T) {
+	c := NewSampled(SampledConfig{
+		Capacity: ObjectCapacity(10), K: 3, Priority: Recency{}, Seed: 1,
+		TTLOf: func(uint64) uint64 { return 5 },
+	})
+	c.Access(trace.Request{Key: 1, Size: 1})
+	if !c.Access(trace.Request{Key: 1, Size: 1}) {
+		t.Fatal("fresh object must hit")
+	}
+	// Advance the clock past expiry with other keys.
+	for k := uint64(10); k < 20; k++ {
+		c.Access(trace.Request{Key: k, Size: 1})
+	}
+	if c.Access(trace.Request{Key: 1, Size: 1}) {
+		t.Fatal("expired object must miss (lazy expiry)")
+	}
+}
+
+func TestSampledByteCapacityAndDelete(t *testing.T) {
+	c := NewSampled(SampledConfig{
+		Capacity: ByteCapacity(1000), K: 5, Priority: Recency{}, Seed: 1,
+	})
+	for k := uint64(0); k < 100; k++ {
+		c.Access(trace.Request{Key: k, Size: 90})
+		if c.UsedBytes() > 1000 {
+			t.Fatal("byte budget exceeded")
+		}
+	}
+	if c.Access(trace.Request{Key: 5000, Size: 2000}) {
+		t.Fatal("oversized insert cannot hit")
+	}
+	key := c.entries[0].Key
+	c.Access(trace.Request{Key: key, Op: trace.OpDelete})
+	if c.Contains(key) {
+		t.Fatal("delete must remove")
+	}
+}
+
+func TestSampledPanics(t *testing.T) {
+	for _, cfg := range []SampledConfig{
+		{Capacity: ObjectCapacity(1), K: 0, Priority: Recency{}},
+		{Capacity: ObjectCapacity(1), K: 1},
+		{K: 1, Priority: Recency{}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("cfg %+v: expected panic", cfg)
+				}
+			}()
+			NewSampled(cfg)
+		}()
+	}
+}
+
+func TestPriorityNames(t *testing.T) {
+	names := map[string]Priority{
+		"lru": Recency{}, "lfu": Frequency{}, "hyperbolic": Hyperbolic{}, "ttl": TTL{},
+	}
+	for want, p := range names {
+		if p.Name() != want {
+			t.Fatalf("%T name %q", p, p.Name())
+		}
+	}
+}

@@ -1,0 +1,438 @@
+// Package simulator provides the ground-truth cache simulators the
+// paper validates KRR against (§5.1): an exact-LRU cache, the random
+// sampling-based K-LRU cache (with and without "placing back"), and a
+// parallel multi-size sweep that turns per-size simulations into an
+// "actual" miss ratio curve via interpolation.
+//
+// Capacities are expressed either in objects (fixed-size experiments)
+// or in bytes (variable-object-size experiments, §5.4).
+package simulator
+
+import (
+	"errors"
+	"io"
+
+	"krr/internal/mrc"
+	"krr/internal/parallel"
+	"krr/internal/trace"
+	"krr/internal/xrand"
+)
+
+// Cache is a fixed-capacity cache simulator. Access processes one
+// request and reports whether it hit. Delete requests never count as
+// hits or misses.
+type Cache interface {
+	Access(req trace.Request) (hit bool)
+	// Len returns the number of resident objects.
+	Len() int
+	// UsedBytes returns the total resident byte size.
+	UsedBytes() uint64
+}
+
+// Capacity expresses a cache limit in objects or bytes (exactly one
+// must be set).
+type Capacity struct {
+	Objects int
+	Bytes   uint64
+}
+
+// ObjectCapacity returns an object-count capacity.
+func ObjectCapacity(n int) Capacity { return Capacity{Objects: n} }
+
+// ByteCapacity returns a byte capacity.
+func ByteCapacity(b uint64) Capacity { return Capacity{Bytes: b} }
+
+func (c Capacity) validate() {
+	if (c.Objects <= 0) == (c.Bytes == 0) {
+		panic("simulator: capacity must set exactly one of Objects or Bytes")
+	}
+}
+
+type entry struct {
+	key  uint64
+	size uint32
+	last uint64 // logical last-access time
+}
+
+// KLRU is the random sampling-based LRU cache: on eviction it samples
+// K resident objects and evicts the least recently used of the sample
+// (§3). WithReplacement selects "placing back" sampling (the Redis
+// default, Proposition 1) versus distinct-sample eviction
+// (Proposition 2).
+type KLRU struct {
+	cap             Capacity
+	k               int
+	withReplacement bool
+	src             *xrand.Source
+
+	entries []entry
+	index   map[uint64]int32
+	clock   uint64
+	used    uint64
+}
+
+// NewKLRU builds a K-LRU cache. k must be >= 1.
+func NewKLRU(capacity Capacity, k int, withReplacement bool, seed uint64) *KLRU {
+	capacity.validate()
+	if k < 1 {
+		panic("simulator: k must be >= 1")
+	}
+	return &KLRU{
+		cap:             capacity,
+		k:               k,
+		withReplacement: withReplacement,
+		src:             xrand.New(seed),
+		index:           make(map[uint64]int32),
+	}
+}
+
+// Len returns the number of resident objects.
+func (c *KLRU) Len() int { return len(c.entries) }
+
+// K returns the current eviction sampling size.
+func (c *KLRU) K() int { return c.k }
+
+// SetSamplingSize reconfigures the eviction sampling size online —
+// the flexibility random sampling buys over rigid ordering structures
+// (§1), exploited by the DLRU controller. k must be >= 1.
+func (c *KLRU) SetSamplingSize(k int) {
+	if k < 1 {
+		panic("simulator: k must be >= 1")
+	}
+	c.k = k
+}
+
+// UsedBytes returns the resident byte total.
+func (c *KLRU) UsedBytes() uint64 { return c.used }
+
+// Contains reports whether key is resident.
+func (c *KLRU) Contains(key uint64) bool {
+	_, ok := c.index[key]
+	return ok
+}
+
+// Access processes one request.
+func (c *KLRU) Access(req trace.Request) bool {
+	c.clock++
+	if req.Op == trace.OpDelete {
+		if idx, ok := c.index[req.Key]; ok {
+			c.removeAt(idx)
+		}
+		return false
+	}
+	if idx, ok := c.index[req.Key]; ok {
+		e := &c.entries[idx]
+		e.last = c.clock
+		if e.size != req.Size {
+			c.used += uint64(req.Size) - uint64(e.size)
+			e.size = req.Size
+			c.evictToFit(0)
+		}
+		return true
+	}
+	// Miss. Objects that cannot fit at all bypass the cache.
+	if c.cap.Bytes > 0 && uint64(req.Size) > c.cap.Bytes {
+		return false
+	}
+	c.evictToFit(uint64(req.Size))
+	c.index[req.Key] = int32(len(c.entries))
+	c.entries = append(c.entries, entry{key: req.Key, size: req.Size, last: c.clock})
+	c.used += uint64(req.Size)
+	return false
+}
+
+// evictToFit evicts victims until an incoming object of the given size
+// fits the capacity.
+func (c *KLRU) evictToFit(incoming uint64) {
+	if c.cap.Objects > 0 {
+		for len(c.entries) > 0 && len(c.entries)+boolToInt(incoming > 0) > c.cap.Objects {
+			c.evictOne()
+		}
+		return
+	}
+	for len(c.entries) > 0 && c.used+incoming > c.cap.Bytes {
+		c.evictOne()
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// evictOne removes the least recently used object among a random
+// sample of K residents.
+func (c *KLRU) evictOne() {
+	n := len(c.entries)
+	victim := int32(c.src.Uint64n(uint64(n)))
+	if c.withReplacement {
+		for i := 1; i < c.k; i++ {
+			cand := int32(c.src.Uint64n(uint64(n)))
+			if c.entries[cand].last < c.entries[victim].last {
+				victim = cand
+			}
+		}
+	} else {
+		// Distinct sample via rejection: fine for k << n; fall back to
+		// full scan when k >= n.
+		if c.k >= n {
+			for i := 0; i < n; i++ {
+				if c.entries[i].last < c.entries[victim].last {
+					victim = int32(i)
+				}
+			}
+		} else {
+			seen := make(map[int32]struct{}, c.k)
+			seen[victim] = struct{}{}
+			for len(seen) < c.k {
+				cand := int32(c.src.Uint64n(uint64(n)))
+				if _, dup := seen[cand]; dup {
+					continue
+				}
+				seen[cand] = struct{}{}
+				if c.entries[cand].last < c.entries[victim].last {
+					victim = cand
+				}
+			}
+		}
+	}
+	c.removeAt(victim)
+}
+
+// removeAt deletes the entry at idx by swapping the final entry in.
+func (c *KLRU) removeAt(idx int32) {
+	e := c.entries[idx]
+	c.used -= uint64(e.size)
+	delete(c.index, e.key)
+	last := int32(len(c.entries) - 1)
+	if idx != last {
+		c.entries[idx] = c.entries[last]
+		c.index[c.entries[idx].key] = idx
+	}
+	c.entries = c.entries[:last]
+}
+
+// lruNode is a slice-backed doubly-linked list node.
+type lruNode struct {
+	key        uint64
+	size       uint32
+	prev, next int32
+}
+
+// LRU is an exact least-recently-used cache built on an intrusive
+// list: O(1) per access.
+type LRU struct {
+	cap   Capacity
+	nodes []lruNode
+	free  []int32
+	index map[uint64]int32
+	head  int32 // most recently used; -1 when empty
+	tail  int32 // least recently used; -1 when empty
+	used  uint64
+}
+
+// NewLRU builds an exact LRU cache.
+func NewLRU(capacity Capacity) *LRU {
+	capacity.validate()
+	return &LRU{cap: capacity, index: make(map[uint64]int32), head: -1, tail: -1}
+}
+
+// Len returns the number of resident objects.
+func (c *LRU) Len() int { return len(c.index) }
+
+// UsedBytes returns the resident byte total.
+func (c *LRU) UsedBytes() uint64 { return c.used }
+
+// Contains reports whether key is resident.
+func (c *LRU) Contains(key uint64) bool {
+	_, ok := c.index[key]
+	return ok
+}
+
+func (c *LRU) unlink(idx int32) {
+	n := c.nodes[idx]
+	if n.prev >= 0 {
+		c.nodes[n.prev].next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next >= 0 {
+		c.nodes[n.next].prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+}
+
+func (c *LRU) pushFront(idx int32) {
+	c.nodes[idx].prev = -1
+	c.nodes[idx].next = c.head
+	if c.head >= 0 {
+		c.nodes[c.head].prev = idx
+	}
+	c.head = idx
+	if c.tail < 0 {
+		c.tail = idx
+	}
+}
+
+// Access processes one request.
+func (c *LRU) Access(req trace.Request) bool {
+	if req.Op == trace.OpDelete {
+		if idx, ok := c.index[req.Key]; ok {
+			c.remove(idx)
+		}
+		return false
+	}
+	if idx, ok := c.index[req.Key]; ok {
+		c.unlink(idx)
+		c.pushFront(idx)
+		if c.nodes[idx].size != req.Size {
+			c.used += uint64(req.Size) - uint64(c.nodes[idx].size)
+			c.nodes[idx].size = req.Size
+			c.evictToFit(0, idx)
+		}
+		return true
+	}
+	if c.cap.Bytes > 0 && uint64(req.Size) > c.cap.Bytes {
+		return false
+	}
+	var idx int32
+	if len(c.free) > 0 {
+		idx = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+		c.nodes[idx] = lruNode{key: req.Key, size: req.Size}
+	} else {
+		idx = int32(len(c.nodes))
+		c.nodes = append(c.nodes, lruNode{key: req.Key, size: req.Size})
+	}
+	c.evictToFit(uint64(req.Size), -1)
+	c.pushFront(idx)
+	c.index[req.Key] = idx
+	c.used += uint64(req.Size)
+	return false
+}
+
+// evictToFit evicts from the tail; keep protects one node from
+// eviction (used when a resident object grows).
+func (c *LRU) evictToFit(incoming uint64, keep int32) {
+	if c.cap.Objects > 0 {
+		for len(c.index) > 0 && len(c.index)+boolToInt(incoming > 0) > c.cap.Objects {
+			if c.tail == keep {
+				break
+			}
+			c.remove(c.tail)
+		}
+		return
+	}
+	for len(c.index) > 0 && c.used+incoming > c.cap.Bytes {
+		if c.tail == keep {
+			break
+		}
+		c.remove(c.tail)
+	}
+}
+
+func (c *LRU) remove(idx int32) {
+	c.unlink(idx)
+	c.used -= uint64(c.nodes[idx].size)
+	delete(c.index, c.nodes[idx].key)
+	c.free = append(c.free, idx)
+}
+
+// Stats accumulates hit/miss counts for one simulation run.
+type Stats struct {
+	Hits, Misses uint64
+}
+
+// MissRatio returns misses/(hits+misses), or 1 for an empty run.
+func (s Stats) MissRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 1
+	}
+	return float64(s.Misses) / float64(total)
+}
+
+// Run replays a reader against a cache and accumulates stats. Delete
+// requests are applied but not counted.
+func Run(c Cache, r trace.Reader) (Stats, error) {
+	var st Stats
+	for {
+		req, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return st, nil
+		}
+		if err != nil {
+			return st, err
+		}
+		if req.Op == trace.OpDelete {
+			c.Access(req)
+			continue
+		}
+		if c.Access(req) {
+			st.Hits++
+		} else {
+			st.Misses++
+		}
+	}
+}
+
+// MRC simulates the trace at each capacity in parallel and returns the
+// linearly-interpolated miss ratio curve — the paper's ground truth
+// procedure (§5.1). mkCache builds a fresh cache per capacity; sizes
+// is in the same unit (objects or bytes) the built caches use.
+func MRC(tr *trace.Trace, sizes []uint64, workers int, mkCache func(capacity uint64) Cache) (*mrc.Curve, error) {
+	miss := make([]float64, len(sizes))
+	var g parallel.Group
+	sem := make(chan struct{}, workersOrDefault(workers))
+	for i, size := range sizes {
+		i, size := i, size
+		g.Go(func() error {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			st, err := Run(mkCache(size), tr.Reader())
+			if err != nil {
+				return err
+			}
+			miss[i] = st.MissRatio()
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return mrc.FromPoints(sizes, miss), nil
+}
+
+func workersOrDefault(w int) int {
+	if w <= 0 {
+		return 8
+	}
+	return w
+}
+
+// KLRUMRC is the common case: ground-truth K-LRU curve over
+// object-count capacities.
+func KLRUMRC(tr *trace.Trace, k int, sizes []uint64, seed uint64, workers int) (*mrc.Curve, error) {
+	return MRC(tr, sizes, workers, func(capacity uint64) Cache {
+		return NewKLRU(ObjectCapacity(int(capacity)), k, true, seed+capacity)
+	})
+}
+
+// KLRUByteMRC is the variable-object-size ground truth: K-LRU over
+// byte capacities.
+func KLRUByteMRC(tr *trace.Trace, k int, sizes []uint64, seed uint64, workers int) (*mrc.Curve, error) {
+	return MRC(tr, sizes, workers, func(capacity uint64) Cache {
+		return NewKLRU(ByteCapacity(capacity), k, true, seed+capacity)
+	})
+}
+
+// LRUMRC is the simulated exact-LRU curve (cross-validates the Olken
+// one-pass profiler).
+func LRUMRC(tr *trace.Trace, sizes []uint64, workers int) (*mrc.Curve, error) {
+	return MRC(tr, sizes, workers, func(capacity uint64) Cache {
+		return NewLRU(ObjectCapacity(int(capacity)))
+	})
+}

@@ -1,0 +1,186 @@
+// Package stack implements Mattson's generalized stack algorithm
+// (§2.2) with the linear update procedure of Figure 2.1: on a
+// reference with stack distance φ, a carried object starts at the
+// stack top and walks down; at each position the maxPriority function
+// decides whether the incumbent keeps its slot or is picked up and
+// carried further, and the final carried object lands at φ.
+//
+// This is the O(M)-per-update "Basic Stack" baseline of Table 5.3 and
+// the behavioural reference against which the fast KRR updates in
+// internal/core are validated. Policies are expressed as a stay
+// function: the probability-bearing decision of Equation 4.1.
+package stack
+
+import (
+	"errors"
+	"io"
+	"math"
+
+	"krr/internal/histogram"
+	"krr/internal/mrc"
+	"krr/internal/trace"
+	"krr/internal/xrand"
+)
+
+// StayFunc reports whether the incumbent object at stack position i
+// (2 <= i < φ) keeps its position against the carried-down object —
+// i.e. whether maxPriority(y(i-1), s(i)) == s(i). Implementations may
+// be probabilistic.
+type StayFunc func(i int) bool
+
+// LRUStay never lets the incumbent stay: every position above φ
+// shifts down by one, which is exactly the LRU stack.
+func LRUStay(int) bool { return false }
+
+// KRRStay returns the KRR stay rule of Equation 4.1: the object at
+// position i survives with probability ((i-1)/i)^k. k = 1 is
+// Mattson's RR stack.
+func KRRStay(src *xrand.Source, k float64) StayFunc {
+	return func(i int) bool {
+		p := float64(i-1) / float64(i)
+		if k != 1 {
+			p = math.Pow(p, k)
+		}
+		return src.Float64() < p
+	}
+}
+
+// Stack is a generalized priority stack with linear update cost.
+// Positions are 1-based; position 1 is the top.
+type Stack struct {
+	keys []uint64 // keys[0] unused
+	pos  map[uint64]int
+	stay StayFunc
+}
+
+// New returns an empty stack driven by the given stay rule.
+func New(stay StayFunc) *Stack {
+	if stay == nil {
+		panic("stack: nil StayFunc")
+	}
+	return &Stack{keys: make([]uint64, 1), pos: make(map[uint64]int), stay: stay}
+}
+
+// Len returns the number of distinct objects on the stack.
+func (s *Stack) Len() int { return len(s.keys) - 1 }
+
+// At returns the key at 1-based position i.
+func (s *Stack) At(i int) uint64 { return s.keys[i] }
+
+// PositionOf returns the 1-based stack position of key, or 0.
+func (s *Stack) PositionOf(key uint64) int { return s.pos[key] }
+
+// Reference processes one access, returning the pre-update stack
+// distance (φ) and whether the reference was cold. Cold references
+// report distance Len() after insertion (their φ per Mattson is γ_t).
+func (s *Stack) Reference(key uint64) (distance int, cold bool) {
+	phi, ok := s.pos[key]
+	if !ok {
+		cold = true
+		s.keys = append(s.keys, key)
+		phi = len(s.keys) - 1
+		s.pos[key] = phi
+	}
+	s.update(key, phi)
+	if cold {
+		return phi, true
+	}
+	return phi, false
+}
+
+// update performs the Mattson linear stack update of Figure 2.1.
+func (s *Stack) update(key uint64, phi int) {
+	if phi == 1 {
+		return
+	}
+	carried := s.keys[1]
+	for i := 2; i < phi; i++ {
+		if s.stay(i) {
+			continue
+		}
+		// Swap position: deposit the carried object, pick up the
+		// incumbent.
+		carried, s.keys[i] = s.keys[i], carried
+		s.pos[s.keys[i]] = i
+	}
+	s.keys[phi] = carried
+	s.pos[carried] = phi
+	s.keys[1] = key
+	s.pos[key] = 1
+}
+
+// Delete removes key, compacting the stack (O(M)); returns residency.
+func (s *Stack) Delete(key uint64) bool {
+	phi, ok := s.pos[key]
+	if !ok {
+		return false
+	}
+	copy(s.keys[phi:], s.keys[phi+1:])
+	s.keys = s.keys[:len(s.keys)-1]
+	delete(s.pos, key)
+	for i := phi; i < len(s.keys); i++ {
+		s.pos[s.keys[i]] = i
+	}
+	return true
+}
+
+// Profiler builds an MRC with the linear stack — the Table 5.3
+// baseline.
+type Profiler struct {
+	stack *Stack
+	hist  *histogram.Dense
+}
+
+// NewKRRProfiler returns a linear-update KRR profiler with exponent k
+// (the already-corrected K′).
+func NewKRRProfiler(seed uint64, k float64) *Profiler {
+	return &Profiler{
+		stack: New(KRRStay(xrand.New(seed), k)),
+		hist:  histogram.NewDense(1024),
+	}
+}
+
+// NewLRUProfiler returns a linear-update exact-LRU profiler.
+func NewLRUProfiler() *Profiler {
+	return &Profiler{stack: New(LRUStay), hist: histogram.NewDense(1024)}
+}
+
+// Process feeds one request.
+func (p *Profiler) Process(req trace.Request) {
+	if req.Op == trace.OpDelete {
+		p.stack.Delete(req.Key)
+		return
+	}
+	dist, cold := p.stack.Reference(req.Key)
+	if cold {
+		p.hist.AddCold()
+		return
+	}
+	p.hist.Add(uint64(dist))
+}
+
+// ProcessAll drains a reader.
+func (p *Profiler) ProcessAll(r trace.Reader) error {
+	for {
+		req, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		p.Process(req)
+	}
+}
+
+// MRC returns the miss ratio curve; scale rescales distances (1/R
+// under spatial sampling).
+func (p *Profiler) MRC(scale float64) *mrc.Curve {
+	return mrc.FromHistogram(p.hist, scale)
+}
+
+// Hist exposes the histogram.
+func (p *Profiler) Hist() *histogram.Dense { return p.hist }
+
+// Stack exposes the underlying stack.
+func (p *Profiler) Stack() *Stack { return p.stack }

@@ -1,0 +1,178 @@
+package stack
+
+import (
+	"math"
+	"testing"
+
+	"krr/internal/olken"
+	"krr/internal/trace"
+	"krr/internal/workload"
+	"krr/internal/xrand"
+)
+
+func TestLRUStackMatchesOlken(t *testing.T) {
+	s := New(LRUStay)
+	oracle := olken.New(1)
+	src := xrand.New(3)
+	for i := 0; i < 20000; i++ {
+		key := src.Uint64n(400)
+		want := oracle.Reference(key, 1)
+		dist, cold := s.Reference(key)
+		if cold != want.Cold {
+			t.Fatalf("step %d: cold %v vs %v", i, cold, want.Cold)
+		}
+		if !cold && uint64(dist) != want.Distance {
+			t.Fatalf("step %d key %d: dist %d vs olken %d", i, key, dist, want.Distance)
+		}
+	}
+}
+
+func TestStackInclusionProperty(t *testing.T) {
+	// By construction a stack algorithm satisfies inclusion: the cache
+	// of size c is positions 1..c, and 1..c ⊂ 1..c+1 trivially. The
+	// meaningful check is that the update touches positions only by
+	// permutation: the multiset of keys is preserved and positions stay
+	// consistent.
+	s := New(KRRStay(xrand.New(5), 4))
+	src := xrand.New(8)
+	seen := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		key := src.Uint64n(200)
+		seen[key] = true
+		s.Reference(key)
+		if s.Len() != len(seen) {
+			t.Fatalf("step %d: stack len %d, want %d", i, s.Len(), len(seen))
+		}
+	}
+	// Every key occupies exactly one position, and pos is the inverse
+	// of the keys array.
+	for i := 1; i <= s.Len(); i++ {
+		if s.PositionOf(s.At(i)) != i {
+			t.Fatalf("pos map inconsistent at %d", i)
+		}
+	}
+}
+
+func TestReferenceTopIsNoop(t *testing.T) {
+	s := New(LRUStay)
+	s.Reference(7)
+	dist, cold := s.Reference(7)
+	if cold || dist != 1 {
+		t.Fatalf("top reference: dist=%d cold=%v", dist, cold)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New(LRUStay)
+	for k := uint64(1); k <= 5; k++ {
+		s.Reference(k)
+	}
+	// Stack (top..bottom): 5 4 3 2 1.
+	if !s.Delete(3) {
+		t.Fatal("delete resident must return true")
+	}
+	if s.Delete(3) {
+		t.Fatal("double delete must return false")
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len %d", s.Len())
+	}
+	// Key 1 was at position 5; after removing key 3 it sits at 4.
+	if s.PositionOf(1) != 4 {
+		t.Fatalf("position of key 1 = %d, want 4", s.PositionOf(1))
+	}
+	dist, cold := s.Reference(1)
+	if cold || dist != 4 {
+		t.Fatalf("distance after delete: %d cold=%v", dist, cold)
+	}
+}
+
+func TestKRRStayProbability(t *testing.T) {
+	// Empirical stay frequency at position i must match ((i-1)/i)^k.
+	src := xrand.New(4)
+	const k = 4.0
+	stay := KRRStay(src, k)
+	for _, i := range []int{2, 3, 10, 100} {
+		stays := 0
+		const trials = 100000
+		for n := 0; n < trials; n++ {
+			if stay(i) {
+				stays++
+			}
+		}
+		want := math.Pow(float64(i-1)/float64(i), k)
+		got := float64(stays) / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("position %d: stay freq %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestKRRK1IsRandomReplacement(t *testing.T) {
+	// Mattson verified the RR stack (K=1) evicts uniformly: for a
+	// cache of size C, each resident is evicted with probability 1/C.
+	// Equivalently, the miss ratio of a uniform workload over M
+	// objects at size C approaches the memoryless hit rate C/M.
+	const m, c = 400, 100
+	g := workload.NewUniform(3, m, nil)
+	p := NewKRRProfiler(5, 1)
+	tr, _ := trace.Collect(g, 150000)
+	if err := p.ProcessAll(tr.Reader()); err != nil {
+		t.Fatal(err)
+	}
+	curve := p.MRC(1)
+	got := curve.Eval(c)
+	want := 1 - float64(c)/float64(m)
+	if math.Abs(got-want) > 0.03 {
+		t.Fatalf("RR uniform miss at C=%d: %v, want ~%v", c, got, want)
+	}
+}
+
+func TestLRUProfilerOnLoop(t *testing.T) {
+	const m = 50
+	p := NewLRUProfiler()
+	g := workload.NewLoop(m, nil)
+	tr, _ := trace.Collect(g, m*20)
+	if err := p.ProcessAll(tr.Reader()); err != nil {
+		t.Fatal(err)
+	}
+	c := p.MRC(1)
+	if c.Eval(m-1) < 0.9 {
+		t.Fatal("LRU loop must thrash below loop size")
+	}
+	if c.Eval(m) > 0.1 {
+		t.Fatal("LRU loop must hit at loop size")
+	}
+}
+
+func TestProfilerDelete(t *testing.T) {
+	p := NewLRUProfiler()
+	p.Process(trace.Request{Key: 1, Op: trace.OpGet})
+	p.Process(trace.Request{Key: 1, Op: trace.OpDelete})
+	p.Process(trace.Request{Key: 1, Op: trace.OpGet})
+	if p.Hist().Cold() != 2 {
+		t.Fatalf("cold = %d, want 2", p.Hist().Cold())
+	}
+}
+
+func TestNewPanicsOnNil(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(nil)
+}
+
+func BenchmarkLinearKRRUpdate(b *testing.B) {
+	p := NewKRRProfiler(1, math.Pow(5, 1.4))
+	g := workload.NewZipf(3, 1<<14, 1.0, nil, 0)
+	reqs := make([]trace.Request, 1<<16)
+	for i := range reqs {
+		reqs[i], _ = g.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Process(reqs[i&(1<<16-1)])
+	}
+}

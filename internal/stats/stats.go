@@ -1,0 +1,120 @@
+// Package stats provides the small statistical helpers used across the
+// evaluation harness: mean absolute error between curves, running
+// moments, and normalization.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// MAE returns the mean absolute error between two equal-length
+// vectors. It panics on length mismatch and returns 0 for empty input.
+func MAE(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: MAE length mismatch")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum / float64(len(a))
+}
+
+// MaxAbsErr returns the maximum absolute difference between two
+// equal-length vectors.
+func MaxAbsErr(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: MaxAbsErr length mismatch")
+	}
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Welford accumulates mean and variance in one pass with good
+// numerical stability. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// nearest-rank on a sorted copy. Returns 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(cp))))
+	if rank < 1 {
+		rank = 1
+	}
+	return cp[rank-1]
+}
+
+// Normalize returns xs scaled so that the element at index base is 1.
+// It panics if that element is zero.
+func Normalize(xs []float64, base int) []float64 {
+	if xs[base] == 0 {
+		panic("stats: Normalize by zero")
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / xs[base]
+	}
+	return out
+}

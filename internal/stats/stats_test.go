@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMAE(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{2, 2, 1}
+	if got := MAE(a, b); got != 1 {
+		t.Fatalf("MAE = %v, want 1", got)
+	}
+	if MAE(nil, nil) != 0 {
+		t.Fatal("empty MAE must be 0")
+	}
+}
+
+func TestMAEPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MAE([]float64{1}, []float64{1, 2})
+}
+
+func TestMAEProperties(t *testing.T) {
+	// Symmetry and identity of indiscernibles.
+	err := quick.Check(func(a []float64) bool {
+		if MAE(a, a) != 0 {
+			return false
+		}
+		b := make([]float64, len(a))
+		for i := range a {
+			b[i] = a[i] + 1
+		}
+		return math.Abs(MAE(a, b)-MAE(b, a)) < 1e-15
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxAbsErr(t *testing.T) {
+	if got := MaxAbsErr([]float64{0, 5, 2}, []float64{1, 1, 2}); got != 4 {
+		t.Fatalf("MaxAbsErr = %v, want 4", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", w.Mean())
+	}
+	if math.Abs(w.Variance()-4) > 1e-12 {
+		t.Fatalf("variance = %v, want 4", w.Variance())
+	}
+	if math.Abs(w.StdDev()-2) > 1e-12 {
+		t.Fatalf("stddev = %v, want 2", w.StdDev())
+	}
+}
+
+func TestWelfordSmallN(t *testing.T) {
+	var w Welford
+	if w.Variance() != 0 || w.StdDev() != 0 {
+		t.Fatal("empty accumulator must report zero variance")
+	}
+	w.Add(3)
+	if w.Variance() != 0 {
+		t.Fatal("single observation must report zero variance")
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	err := quick.Check(func(xs []float64) bool {
+		// Skip pathological magnitudes that break the naive formula.
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var w Welford
+		for _, x := range xs {
+			w.Add(x)
+		}
+		m := Mean(xs)
+		var v float64
+		for _, x := range xs {
+			v += (x - m) * (x - m)
+		}
+		v /= float64(len(xs))
+		return math.Abs(w.Variance()-v) <= 1e-6*(1+v)
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile must be 0")
+	}
+	// Input must not be reordered.
+	if xs[0] != 5 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{2, 4, 8}, 0)
+	want := []float64{1, 2, 4}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Normalize = %v", out)
+		}
+	}
+}
+
+func TestNormalizePanicsOnZeroBase(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Normalize([]float64{0, 1}, 0)
+}

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Binary trace format:
+//
+//	magic   [4]byte  "KRT1"
+//	count   uint64   number of records (little endian)
+//	records count × { key uint64, size uint32, op uint8 }
+//
+// The format is dense (13 bytes/record) so that multi-hundred-million
+// request traces stay manageable on disk.
+
+var binaryMagic = [4]byte{'K', 'R', 'T', '1'}
+
+// ErrBadFormat reports a malformed trace stream.
+var ErrBadFormat = errors.New("trace: bad format")
+
+const recordSize = 13
+
+// WriteBinary encodes the trace to w in the binary format.
+func WriteBinary(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(t.Reqs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [recordSize]byte
+	for _, r := range t.Reqs {
+		binary.LittleEndian.PutUint64(rec[0:8], r.Key)
+		binary.LittleEndian.PutUint32(rec[8:12], r.Size)
+		rec[12] = byte(r.Op)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a full binary trace from r.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br, err := NewBinaryReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return ReadAll(br)
+}
+
+// BinaryReader streams requests from a binary-format trace.
+type BinaryReader struct {
+	br   *bufio.Reader
+	left uint64
+}
+
+// NewBinaryReader validates the header and returns a streaming reader.
+func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadFormat, err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, magic[:])
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing count: %v", ErrBadFormat, err)
+	}
+	return &BinaryReader{br: br, left: binary.LittleEndian.Uint64(hdr[:])}, nil
+}
+
+// Len returns the number of records remaining.
+func (b *BinaryReader) Len() uint64 { return b.left }
+
+// Next returns the next request or io.EOF.
+func (b *BinaryReader) Next() (Request, error) {
+	if b.left == 0 {
+		return Request{}, io.EOF
+	}
+	var rec [recordSize]byte
+	if _, err := io.ReadFull(b.br, rec[:]); err != nil {
+		return Request{}, fmt.Errorf("%w: truncated record: %v", ErrBadFormat, err)
+	}
+	b.left--
+	return Request{
+		Key:  binary.LittleEndian.Uint64(rec[0:8]),
+		Size: binary.LittleEndian.Uint32(rec[8:12]),
+		Op:   Op(rec[12]),
+	}, nil
+}
+
+// WriteCSV encodes the trace as "key,size,op" lines, one per request.
+// The textual form is for interchange and debugging; prefer the binary
+// format for large traces.
+func WriteCSV(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, r := range t.Reqs {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%s\n", r.Key, r.Size, r.Op); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV decodes "key,size,op" lines. Blank lines and lines starting
+// with '#' are skipped. A missing op defaults to get; a missing size
+// defaults to DefaultObjectSize.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		req, err := parseCSVLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadFormat, lineNo, err)
+		}
+		t.Append(req)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func parseCSVLine(line string) (Request, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) < 1 || len(fields) > 3 {
+		return Request{}, fmt.Errorf("want 1-3 fields, got %d", len(fields))
+	}
+	key, err := strconv.ParseUint(strings.TrimSpace(fields[0]), 10, 64)
+	if err != nil {
+		return Request{}, fmt.Errorf("key: %v", err)
+	}
+	req := Request{Key: key, Size: DefaultObjectSize, Op: OpGet}
+	if len(fields) >= 2 {
+		size, err := strconv.ParseUint(strings.TrimSpace(fields[1]), 10, 32)
+		if err != nil {
+			return Request{}, fmt.Errorf("size: %v", err)
+		}
+		req.Size = uint32(size)
+	}
+	if len(fields) == 3 {
+		switch op := strings.TrimSpace(fields[2]); op {
+		case "get", "read", "":
+			req.Op = OpGet
+		case "set", "write", "add", "replace":
+			req.Op = OpSet
+		case "delete", "del":
+			req.Op = OpDelete
+		default:
+			return Request{}, fmt.Errorf("unknown op %q", op)
+		}
+	}
+	return req, nil
+}

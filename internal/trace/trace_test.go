@@ -1,0 +1,273 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{Reqs: []Request{
+		{Key: 1, Size: 100, Op: OpGet},
+		{Key: 2, Size: 4096, Op: OpSet},
+		{Key: 1, Size: 100, Op: OpGet},
+		{Key: 3, Size: 1, Op: OpDelete},
+		{Key: 1<<63 + 7, Size: 1<<32 - 1, Op: OpGet},
+	}}
+}
+
+func TestOpString(t *testing.T) {
+	if OpGet.String() != "get" || OpSet.String() != "set" || OpDelete.String() != "delete" {
+		t.Fatal("op mnemonics wrong")
+	}
+	if Op(200).String() != "op?" {
+		t.Fatal("unknown op must stringify safely")
+	}
+}
+
+func TestSliceReader(t *testing.T) {
+	tr := sampleTrace()
+	r := tr.Reader()
+	var got []Request
+	for {
+		req, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, req)
+	}
+	if !reflect.DeepEqual(got, tr.Reqs) {
+		t.Fatalf("reader mismatch: %v vs %v", got, tr.Reqs)
+	}
+	// Readers are independent.
+	r2 := tr.Reader()
+	if req, _ := r2.Next(); req.Key != 1 {
+		t.Fatal("second reader must start fresh")
+	}
+}
+
+func TestReadAllAndCollect(t *testing.T) {
+	tr := sampleTrace()
+	got, err := ReadAll(tr.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Reqs, tr.Reqs) {
+		t.Fatal("ReadAll mismatch")
+	}
+	head, err := Collect(tr.Reader(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.Len() != 2 || head.Reqs[1].Key != 2 {
+		t.Fatalf("Collect(2) = %v", head.Reqs)
+	}
+	over, err := Collect(tr.Reader(), 100)
+	if err != nil || over.Len() != tr.Len() {
+		t.Fatalf("Collect beyond EOF: len=%d err=%v", over.Len(), err)
+	}
+}
+
+func TestLimitReader(t *testing.T) {
+	tr := sampleTrace()
+	lr := LimitReader(tr.Reader(), 3)
+	n := 0
+	for {
+		_, err := lr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("LimitReader yielded %d", n)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Reqs, tr.Reqs) {
+		t.Fatalf("round trip mismatch:\n got %v\nwant %v", got.Reqs, tr.Reqs)
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(keys []uint64, sizes []uint32) bool {
+		tr := &Trace{}
+		for i, k := range keys {
+			size := uint32(DefaultObjectSize)
+			if i < len(sizes) {
+				size = sizes[i]
+			}
+			tr.Append(Request{Key: k, Size: size, Op: Op(i % 3)})
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Reqs, tr.Reqs) ||
+			(len(got.Reqs) == 0 && len(tr.Reqs) == 0)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a trace")); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("err = %v, want ErrBadFormat", err)
+	}
+	if _, err := ReadBinary(strings.NewReader("")); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("empty stream err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestBinaryRejectsTruncation(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	_, err := ReadBinary(bytes.NewReader(trunc))
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("truncated err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestBinaryReaderLen(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBinaryReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Len() != uint64(tr.Len()) {
+		t.Fatalf("Len = %d, want %d", br.Len(), tr.Len())
+	}
+	br.Next()
+	if br.Len() != uint64(tr.Len()-1) {
+		t.Fatal("Len must decrease after Next")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Reqs, tr.Reqs) {
+		t.Fatalf("csv round trip mismatch:\n got %v\nwant %v", got.Reqs, tr.Reqs)
+	}
+}
+
+func TestCSVDefaultsAndComments(t *testing.T) {
+	in := "# comment\n\n42\n7,512\n9,64,set\n"
+	tr, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Request{
+		{Key: 42, Size: DefaultObjectSize, Op: OpGet},
+		{Key: 7, Size: 512, Op: OpGet},
+		{Key: 9, Size: 64, Op: OpSet},
+	}
+	if !reflect.DeepEqual(tr.Reqs, want) {
+		t.Fatalf("got %v want %v", tr.Reqs, want)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	for _, in := range []string{"abc\n", "1,xyz\n", "1,2,frob\n", "1,2,3,4\n"} {
+		if _, err := ReadCSV(strings.NewReader(in)); !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("input %q: err = %v, want ErrBadFormat", in, err)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := &Trace{Reqs: []Request{
+		{Key: 1, Size: 100, Op: OpGet},
+		{Key: 2, Size: 50, Op: OpGet},
+		{Key: 1, Size: 100, Op: OpGet},
+		{Key: 2, Size: 75, Op: OpSet}, // size change after first touch does not alter WSS
+	}}
+	s, err := Summarize(tr.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Requests != 4 || s.DistinctObjects != 2 || s.ColdMisses != 2 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.WSSBytes != 150 {
+		t.Fatalf("WSSBytes = %d, want 150 (first-request sizes)", s.WSSBytes)
+	}
+	if s.TotalBytes != 325 {
+		t.Fatalf("TotalBytes = %d, want 325", s.TotalBytes)
+	}
+}
+
+func TestSummarizeWithDelete(t *testing.T) {
+	tr := &Trace{Reqs: []Request{
+		{Key: 1, Size: 10, Op: OpGet},
+		{Key: 2, Size: 10, Op: OpGet},
+		{Key: 1, Size: 0, Op: OpDelete},
+		{Key: 3, Size: 10, Op: OpGet},
+	}}
+	s, err := Summarize(tr.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max concurrent distinct objects is 2: {1,2} then {2,3}.
+	if s.DistinctObjects != 2 {
+		t.Fatalf("DistinctObjects = %d, want 2", s.DistinctObjects)
+	}
+	if s.ColdMisses != 3 {
+		t.Fatalf("ColdMisses = %d, want 3", s.ColdMisses)
+	}
+}
+
+func TestFuncReader(t *testing.T) {
+	calls := 0
+	fr := FuncReader(func() (Request, error) {
+		calls++
+		if calls > 2 {
+			return Request{}, io.EOF
+		}
+		return Request{Key: uint64(calls)}, nil
+	})
+	tr, err := ReadAll(fr)
+	if err != nil || tr.Len() != 2 {
+		t.Fatalf("len=%d err=%v", tr.Len(), err)
+	}
+}

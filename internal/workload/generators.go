@@ -1,0 +1,414 @@
+package workload
+
+import (
+	"krr/internal/trace"
+	"krr/internal/xrand"
+)
+
+// scrambleKey maps a dense rank (0, 1, 2, ...) to a scattered 64-bit
+// key. Multiplication by an odd constant is a bijection mod 2^64, so
+// distinct ranks stay distinct while popular ranks spread uniformly
+// across the key space — which matters for spatial sampling, whose
+// hash must not correlate with popularity.
+func scrambleKey(rank uint64) uint64 { return rank * 0x9e3779b97f4a7c15 }
+
+// opFor draws get or set with the given set probability.
+func opFor(src *xrand.Source, setRatio float64) trace.Op {
+	if setRatio > 0 && src.Float64() < setRatio {
+		return trace.OpSet
+	}
+	return trace.OpGet
+}
+
+// ZipfGen reimplements YCSB workload C: independent key draws from a
+// Zipf(alpha) popularity distribution over Keys objects.
+type ZipfGen struct {
+	src      *xrand.Source
+	zipf     *xrand.Zipf
+	sizes    SizeDist
+	setRatio float64
+	space    uint64 // key-space salt for composing multi-tenant traces
+}
+
+// NewZipf returns a Zipfian generator over keys [0, keys) with
+// exponent alpha. sizes may be nil for the paper's 200-byte default.
+func NewZipf(seed uint64, keys uint64, alpha float64, sizes SizeDist, setRatio float64) *ZipfGen {
+	src := xrand.New(seed)
+	if sizes == nil {
+		sizes = FixedSize(trace.DefaultObjectSize)
+	}
+	return &ZipfGen{
+		src:      src,
+		zipf:     xrand.NewZipf(src, alpha, keys),
+		sizes:    sizes,
+		setRatio: setRatio,
+	}
+}
+
+// SetKeySpace offsets all ranks, isolating this generator's keys from
+// other generators merged into one trace.
+func (g *ZipfGen) SetKeySpace(space uint64) { g.space = space }
+
+// Next returns the next request; it never returns an error.
+func (g *ZipfGen) Next() (trace.Request, error) {
+	rank := g.zipf.Uint64()
+	key := scrambleKey(g.space + rank)
+	return trace.Request{Key: key, Size: g.sizes.SizeOf(rank), Op: opFor(g.src, g.setRatio)}, nil
+}
+
+// ScanGen reimplements YCSB workload E: each scan starts at a
+// Zipf-chosen rank and touches a uniformly-drawn number of
+// consecutive ranks (the paper configures MaxScanLen equal to the
+// number of distinct objects, §5.2).
+type ScanGen struct {
+	src        *xrand.Source
+	zipf       *xrand.Zipf
+	sizes      SizeDist
+	keys       uint64
+	maxScanLen uint64
+	space      uint64
+
+	cur, left uint64
+}
+
+// NewScan returns a scan-dominant generator over keys [0, keys).
+// maxScanLen == 0 defaults to keys.
+func NewScan(seed uint64, keys uint64, alpha float64, maxScanLen uint64, sizes SizeDist) *ScanGen {
+	src := xrand.New(seed)
+	if sizes == nil {
+		sizes = FixedSize(trace.DefaultObjectSize)
+	}
+	if maxScanLen == 0 {
+		maxScanLen = keys
+	}
+	return &ScanGen{
+		src:        src,
+		zipf:       xrand.NewZipf(src, alpha, keys),
+		sizes:      sizes,
+		keys:       keys,
+		maxScanLen: maxScanLen,
+	}
+}
+
+// SetKeySpace offsets all ranks.
+func (g *ScanGen) SetKeySpace(space uint64) { g.space = space }
+
+// Next returns the next request; it never returns an error.
+func (g *ScanGen) Next() (trace.Request, error) {
+	if g.left == 0 {
+		g.cur = g.zipf.Uint64()
+		g.left = 1 + g.src.Uint64n(g.maxScanLen)
+	}
+	rank := g.cur
+	key := scrambleKey(g.space + rank)
+	g.cur = (g.cur + 1) % g.keys
+	g.left--
+	return trace.Request{Key: key, Size: g.sizes.SizeOf(rank), Op: trace.OpGet}, nil
+}
+
+// LoopGen cycles over keys [0, keys) forever — the adversarial
+// pattern for KRR called out in §4.2 (all objects share one recency
+// order), and the classic LRU-pathological pattern.
+type LoopGen struct {
+	sizes SizeDist
+	keys  uint64
+	pos   uint64
+	space uint64
+}
+
+// NewLoop returns a cyclic generator.
+func NewLoop(keys uint64, sizes SizeDist) *LoopGen {
+	if sizes == nil {
+		sizes = FixedSize(trace.DefaultObjectSize)
+	}
+	return &LoopGen{sizes: sizes, keys: keys}
+}
+
+// SetKeySpace offsets all ranks.
+func (g *LoopGen) SetKeySpace(space uint64) { g.space = space }
+
+// Next returns the next request; it never returns an error.
+func (g *LoopGen) Next() (trace.Request, error) {
+	rank := g.pos
+	key := scrambleKey(g.space + rank)
+	g.pos = (g.pos + 1) % g.keys
+	return trace.Request{Key: key, Size: g.sizes.SizeOf(rank), Op: trace.OpGet}, nil
+}
+
+// UniformGen draws keys uniformly — the memoryless baseline pattern.
+type UniformGen struct {
+	src   *xrand.Source
+	sizes SizeDist
+	keys  uint64
+	space uint64
+}
+
+// NewUniform returns a uniform random generator over [0, keys).
+func NewUniform(seed, keys uint64, sizes SizeDist) *UniformGen {
+	if sizes == nil {
+		sizes = FixedSize(trace.DefaultObjectSize)
+	}
+	return &UniformGen{src: xrand.New(seed), sizes: sizes, keys: keys}
+}
+
+// SetKeySpace offsets all ranks.
+func (g *UniformGen) SetKeySpace(space uint64) { g.space = space }
+
+// Next returns the next request; it never returns an error.
+func (g *UniformGen) Next() (trace.Request, error) {
+	rank := g.src.Uint64n(g.keys)
+	key := scrambleKey(g.space + rank)
+	return trace.Request{Key: key, Size: g.sizes.SizeOf(rank), Op: trace.OpGet}, nil
+}
+
+// MSRParams shapes an MSRLike generator. The three phase weights
+// control the Type A / Type B character of the resulting MRC:
+// scan- and loop-heavy mixes separate K-LRU variants (Type A), while
+// hotspot-dominated mixes collapse them onto one curve (Type B).
+type MSRParams struct {
+	// Blocks is the number of distinct block addresses.
+	Blocks uint64
+	// HotWeight, SeqWeight and LoopWeight are the relative
+	// probabilities of entering each phase.
+	HotWeight, SeqWeight, LoopWeight float64
+	// HotFraction of the address space receives the Zipf(HotAlpha)
+	// hotspot traffic.
+	HotFraction float64
+	HotAlpha    float64
+	// HotBurstMean is the mean number of consecutive hotspot requests.
+	HotBurstMean int
+	// SeqRunMean is the mean sequential run length in blocks.
+	SeqRunMean int
+	// LoopLen is the loop body size in blocks; LoopRepeats is how many
+	// times one loop phase cycles through it.
+	LoopLen     uint64
+	LoopRepeats int
+	// SetRatio is the fraction of write requests.
+	SetRatio float64
+	// Sizes assigns block sizes (nil = 200-byte paper default).
+	Sizes SizeDist
+}
+
+type msrPhase uint8
+
+const (
+	phaseHot msrPhase = iota
+	phaseSeq
+	phaseLoop
+)
+
+// MSRLike is a block-I/O-shaped generator: a three-phase state machine
+// emitting hotspot, sequential and loop traffic over one address space.
+type MSRLike struct {
+	p     MSRParams
+	src   *xrand.Source
+	zipf  *xrand.Zipf
+	space uint64
+
+	phase     msrPhase
+	remaining int
+	cursor    uint64 // current block for seq/loop phases
+	loopStart uint64
+}
+
+// NewMSRLike builds the generator. Zero-valued weights are allowed as
+// long as at least one weight is positive.
+func NewMSRLike(seed uint64, p MSRParams) *MSRLike {
+	if p.Blocks == 0 {
+		panic("workload: MSRParams.Blocks must be positive")
+	}
+	if p.HotWeight <= 0 && p.SeqWeight <= 0 && p.LoopWeight <= 0 {
+		panic("workload: MSRParams needs at least one positive phase weight")
+	}
+	if p.HotFraction <= 0 || p.HotFraction > 1 {
+		p.HotFraction = 0.1
+	}
+	if p.HotAlpha <= 0 {
+		p.HotAlpha = 1.0
+	}
+	if p.HotBurstMean <= 0 {
+		p.HotBurstMean = 16
+	}
+	if p.SeqRunMean <= 0 {
+		p.SeqRunMean = 64
+	}
+	if p.LoopLen == 0 || p.LoopLen > p.Blocks {
+		p.LoopLen = p.Blocks / 4
+		if p.LoopLen == 0 {
+			p.LoopLen = 1
+		}
+	}
+	if p.LoopRepeats <= 0 {
+		p.LoopRepeats = 3
+	}
+	if p.Sizes == nil {
+		p.Sizes = FixedSize(trace.DefaultObjectSize)
+	}
+	src := xrand.New(seed)
+	hotBlocks := uint64(float64(p.Blocks) * p.HotFraction)
+	if hotBlocks == 0 {
+		hotBlocks = 1
+	}
+	return &MSRLike{
+		p:    p,
+		src:  src,
+		zipf: xrand.NewZipf(src, p.HotAlpha, hotBlocks),
+	}
+}
+
+// SetKeySpace offsets all block addresses.
+func (g *MSRLike) SetKeySpace(space uint64) { g.space = space }
+
+// geometric draws a run length with the given mean (>= 1).
+func geometric(src *xrand.Source, mean int) int {
+	if mean <= 1 {
+		return 1
+	}
+	// Geometric with success prob 1/mean, support {1, 2, ...}.
+	p := 1.0 / float64(mean)
+	n := 1
+	for src.Float64() >= p && n < mean*20 {
+		n++
+	}
+	return n
+}
+
+func (g *MSRLike) enterPhase() {
+	w := g.src.Float64() * (g.p.HotWeight + g.p.SeqWeight + g.p.LoopWeight)
+	switch {
+	case w < g.p.HotWeight:
+		g.phase = phaseHot
+		g.remaining = geometric(g.src, g.p.HotBurstMean)
+	case w < g.p.HotWeight+g.p.SeqWeight:
+		g.phase = phaseSeq
+		g.remaining = geometric(g.src, g.p.SeqRunMean)
+		g.cursor = g.src.Uint64n(g.p.Blocks)
+	default:
+		g.phase = phaseLoop
+		g.remaining = int(g.p.LoopLen) * g.p.LoopRepeats
+		g.loopStart = g.src.Uint64n(g.p.Blocks)
+		g.cursor = g.loopStart
+	}
+}
+
+// Next returns the next request; it never returns an error.
+func (g *MSRLike) Next() (trace.Request, error) {
+	if g.remaining == 0 {
+		g.enterPhase()
+	}
+	g.remaining--
+	var block uint64
+	switch g.phase {
+	case phaseHot:
+		block = g.zipf.Uint64()
+	case phaseSeq:
+		block = g.cursor % g.p.Blocks
+		g.cursor++
+	default: // phaseLoop
+		block = g.cursor % g.p.Blocks
+		g.cursor++
+		if g.cursor-g.loopStart >= g.p.LoopLen {
+			g.cursor = g.loopStart
+		}
+	}
+	key := scrambleKey(g.space + block)
+	return trace.Request{Key: key, Size: g.p.Sizes.SizeOf(block), Op: opFor(g.src, g.p.SetRatio)}, nil
+}
+
+// TwitterParams shapes a TwitterLike generator.
+type TwitterParams struct {
+	// Keys is the number of distinct objects.
+	Keys uint64
+	// Alpha is the Zipf popularity exponent (Twitter clusters are
+	// strongly skewed; the OSDI'20 study reports alpha ~ 1-1.4).
+	Alpha float64
+	// SetRatio is the fraction of writes.
+	SetRatio float64
+	// ChurnPeriod > 0 retires the oldest keys every ChurnPeriod
+	// requests by sliding the rank window forward one position —
+	// modeling the constant object turnover of production caches.
+	ChurnPeriod int
+	// Sizes assigns value sizes (nil = lognormal with ~230-byte
+	// median and heavy tail, per the Twitter characterization).
+	Sizes SizeDist
+}
+
+// TwitterLike models an in-memory-cache request stream with skewed
+// popularity, churn and variable object sizes.
+type TwitterLike struct {
+	p      TwitterParams
+	src    *xrand.Source
+	zipf   *xrand.Zipf
+	offset uint64
+	count  int
+	space  uint64
+}
+
+// NewTwitterLike builds the generator.
+func NewTwitterLike(seed uint64, p TwitterParams) *TwitterLike {
+	if p.Keys == 0 {
+		panic("workload: TwitterParams.Keys must be positive")
+	}
+	if p.Alpha <= 0 {
+		p.Alpha = 1.2
+	}
+	if p.Sizes == nil {
+		p.Sizes = LogNormalSize{Mu: 5.44, Sigma: 1.0, Min: 16, Max: 1 << 20} // median ~230 B
+	}
+	src := xrand.New(seed)
+	return &TwitterLike{p: p, src: src, zipf: xrand.NewZipf(src, p.Alpha, p.Keys)}
+}
+
+// SetKeySpace offsets all ranks.
+func (g *TwitterLike) SetKeySpace(space uint64) { g.space = space }
+
+// Next returns the next request; it never returns an error.
+func (g *TwitterLike) Next() (trace.Request, error) {
+	if g.p.ChurnPeriod > 0 {
+		g.count++
+		if g.count%g.p.ChurnPeriod == 0 {
+			g.offset++
+		}
+	}
+	id := g.offset + g.zipf.Uint64()
+	key := scrambleKey(g.space + id)
+	return trace.Request{Key: key, Size: g.p.Sizes.SizeOf(id), Op: opFor(g.src, g.p.SetRatio)}, nil
+}
+
+// Mix interleaves several readers, choosing the source of each request
+// by weight — used to build the merged "master" MSR-like trace (§5.5).
+type Mix struct {
+	src     *xrand.Source
+	readers []trace.Reader
+	weights []float64
+	total   float64
+}
+
+// NewMix builds a weighted interleaving of readers. Weights must be
+// positive and match readers in length.
+func NewMix(seed uint64, readers []trace.Reader, weights []float64) *Mix {
+	if len(readers) == 0 || len(readers) != len(weights) {
+		panic("workload: NewMix needs matching non-empty readers and weights")
+	}
+	var total float64
+	for _, w := range weights {
+		if w <= 0 {
+			panic("workload: NewMix weights must be positive")
+		}
+		total += w
+	}
+	return &Mix{src: xrand.New(seed), readers: readers, weights: weights, total: total}
+}
+
+// Next draws a source by weight and forwards its next request. A
+// sub-reader error (including EOF) ends the mix.
+func (m *Mix) Next() (trace.Request, error) {
+	w := m.src.Float64() * m.total
+	for i, wt := range m.weights {
+		if w < wt || i == len(m.weights)-1 {
+			return m.readers[i].Next()
+		}
+		w -= wt
+	}
+	return m.readers[len(m.readers)-1].Next()
+}

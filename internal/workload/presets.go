@@ -1,0 +1,288 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"krr/internal/trace"
+)
+
+// Preset is a named, reproducible workload configuration standing in
+// for one of the paper's traces. New returns an unbounded reader;
+// scale multiplies the key-space size (1.0 = the preset's base size,
+// chosen to keep full experiment sweeps tractable on one machine) and
+// variable selects the variable-object-size variant used by §5.4
+// (fixed variants emit the paper's uniform 200-byte objects).
+type Preset struct {
+	Name            string
+	Family          string // "msr", "ycsb", "twitter", "micro"
+	Description     string
+	Type            string // "A" (K-sensitive), "B" (K-insensitive), or ""
+	DefaultRequests int
+	New             func(scale float64, seed uint64, variable bool) trace.Reader
+}
+
+// scaled returns max(1, base*scale).
+func scaled(base uint64, scale float64) uint64 {
+	v := uint64(float64(base) * scale)
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// msrSizes is the variable-size distribution for MSR-like presets: a
+// block-size mix correlated with the address region, matching real
+// block traces where a hot metadata region issues small I/O while
+// sequential stripes issue large blocks. The correlation is what
+// makes the uniform-size assumption fail (Fig 5.3A): the size
+// distribution *along the stack* differs from the global mean.
+func msrSizes(blocks uint64, hotFraction float64, salt uint64) SizeDist {
+	boundary := uint64(float64(blocks) * hotFraction)
+	if boundary == 0 {
+		boundary = 1
+	}
+	return AddressSize{
+		Boundary: boundary,
+		Below: ChoiceSize{ // hot region: small metadata-ish blocks
+			Sizes:   []uint32{512, 2048, 4096},
+			Weights: []float64{35, 40, 25},
+			Salt:    salt,
+		},
+		Above: ChoiceSize{ // cold/scan region: large sequential blocks
+			Sizes:   []uint32{16384, 65536, 131072},
+			Weights: []float64{40, 40, 20},
+			Salt:    salt + 1,
+		},
+	}
+}
+
+// twSizes is the variable-size distribution for Twitter-like presets:
+// lognormal values, small median, heavy tail.
+func twSizes(salt uint64) SizeDist {
+	return LogNormalSize{Mu: 5.44, Sigma: 1.2, Min: 16, Max: 1 << 19, Salt: salt}
+}
+
+func fixedOr(variable bool, v SizeDist) SizeDist {
+	if variable {
+		return v
+	}
+	return FixedSize(trace.DefaultObjectSize)
+}
+
+// msrPreset assembles an MSR-like preset.
+func msrPreset(name, desc, typ string, blocks uint64, p MSRParams, reqs int) Preset {
+	return Preset{
+		Name:            "msr-" + name,
+		Family:          "msr",
+		Description:     desc,
+		Type:            typ,
+		DefaultRequests: reqs,
+		New: func(scale float64, seed uint64, variable bool) trace.Reader {
+			q := p
+			q.Blocks = scaled(blocks, scale)
+			if q.LoopLen > 0 {
+				q.LoopLen = scaled(q.LoopLen, scale)
+			}
+			q.Sizes = fixedOr(variable, msrSizes(q.Blocks, q.HotFraction, seed))
+			return NewMSRLike(seed, q)
+		},
+	}
+}
+
+// builtin returns the full preset registry. MSR presets substitute the
+// 13 MSR Cambridge servers: phase weights are chosen so that the
+// presets labeled Type A reproduce the K-sensitive MRC gap of Fig 5.2a
+// (scan/loop heavy) and the Type B presets reproduce the K-insensitive
+// curves of Fig 5.2b (hotspot heavy).
+func builtin() []Preset {
+	ps := []Preset{
+		// ---- MSR Cambridge substitutes -------------------------------
+		msrPreset("src1", "source-control server 1: scan-heavy, large space", "A",
+			400_000, MSRParams{HotWeight: 0.30, SeqWeight: 0.55, LoopWeight: 0.15,
+				HotFraction: 0.05, HotAlpha: 1.1, SeqRunMean: 256, LoopLen: 120_000, LoopRepeats: 2}, 4_000_000),
+		msrPreset("src2", "source-control server 2: small, loop-dominated", "A",
+			60_000, MSRParams{HotWeight: 0.25, SeqWeight: 0.20, LoopWeight: 0.55,
+				HotFraction: 0.10, HotAlpha: 0.9, SeqRunMean: 128, LoopLen: 24_000, LoopRepeats: 4}, 2_000_000),
+		msrPreset("web", "web/SQL server: loop+scan mix with big K-LRU gap", "A",
+			150_000, MSRParams{HotWeight: 0.30, SeqWeight: 0.30, LoopWeight: 0.40,
+				HotFraction: 0.08, HotAlpha: 1.0, SeqRunMean: 192, LoopLen: 60_000, LoopRepeats: 3}, 3_000_000),
+		msrPreset("proj", "project directories: huge space, mixed phases", "A",
+			600_000, MSRParams{HotWeight: 0.45, SeqWeight: 0.35, LoopWeight: 0.20,
+				HotFraction: 0.04, HotAlpha: 0.95, SeqRunMean: 384, LoopLen: 200_000, LoopRepeats: 2}, 5_000_000),
+		msrPreset("usr", "user home directories: hotspot-dominated", "B",
+			500_000, MSRParams{HotWeight: 0.85, SeqWeight: 0.12, LoopWeight: 0.03,
+				HotFraction: 0.25, HotAlpha: 0.85, SeqRunMean: 64, LoopLen: 10_000, LoopRepeats: 2}, 4_000_000),
+		msrPreset("hm", "hardware monitoring: moderate hotspot", "B",
+			80_000, MSRParams{HotWeight: 0.75, SeqWeight: 0.20, LoopWeight: 0.05,
+				HotFraction: 0.20, HotAlpha: 1.0, SeqRunMean: 48, LoopLen: 8_000, LoopRepeats: 2}, 2_000_000),
+		msrPreset("mds", "media server: scan bursts over cold archive", "A",
+			250_000, MSRParams{HotWeight: 0.35, SeqWeight: 0.50, LoopWeight: 0.15,
+				HotFraction: 0.06, HotAlpha: 1.05, SeqRunMean: 512, LoopLen: 80_000, LoopRepeats: 2}, 3_000_000),
+		msrPreset("prn", "print server: skewed small working set", "B",
+			90_000, MSRParams{HotWeight: 0.80, SeqWeight: 0.15, LoopWeight: 0.05,
+				HotFraction: 0.15, HotAlpha: 1.1, SeqRunMean: 32, LoopLen: 6_000, LoopRepeats: 2}, 2_000_000),
+		msrPreset("prxy", "firewall/proxy: highly skewed, tiny hot set", "B",
+			120_000, MSRParams{HotWeight: 0.90, SeqWeight: 0.08, LoopWeight: 0.02,
+				HotFraction: 0.05, HotAlpha: 1.25, SeqRunMean: 24, LoopLen: 4_000, LoopRepeats: 2}, 3_000_000),
+		msrPreset("rsrch", "research projects: small loopy working set", "A",
+			40_000, MSRParams{HotWeight: 0.30, SeqWeight: 0.25, LoopWeight: 0.45,
+				HotFraction: 0.12, HotAlpha: 0.9, SeqRunMean: 96, LoopLen: 15_000, LoopRepeats: 3}, 1_500_000),
+		msrPreset("stg", "staging server: long sequential stripes", "A",
+			300_000, MSRParams{HotWeight: 0.25, SeqWeight: 0.65, LoopWeight: 0.10,
+				HotFraction: 0.08, HotAlpha: 0.95, SeqRunMean: 768, LoopLen: 90_000, LoopRepeats: 2}, 3_000_000),
+		msrPreset("ts", "terminal server: small skewed set", "B",
+			50_000, MSRParams{HotWeight: 0.78, SeqWeight: 0.17, LoopWeight: 0.05,
+				HotFraction: 0.18, HotAlpha: 1.05, SeqRunMean: 40, LoopLen: 5_000, LoopRepeats: 2}, 1_500_000),
+		msrPreset("wdev", "web development server: mixed, mildly loopy", "A",
+			70_000, MSRParams{HotWeight: 0.45, SeqWeight: 0.25, LoopWeight: 0.30,
+				HotFraction: 0.15, HotAlpha: 1.0, SeqRunMean: 80, LoopLen: 20_000, LoopRepeats: 3}, 1_500_000),
+	}
+
+	// ---- YCSB ---------------------------------------------------------
+	for _, alpha := range []float64{0.5, 0.99, 1.5} {
+		alpha := alpha
+		ps = append(ps, Preset{
+			Name:            fmt.Sprintf("ycsb-c-%.2g", alpha),
+			Family:          "ycsb",
+			Description:     fmt.Sprintf("YCSB workload C (read-only Zipf, alpha=%.2g)", alpha),
+			Type:            "B",
+			DefaultRequests: 2_000_000,
+			New: func(scale float64, seed uint64, variable bool) trace.Reader {
+				return NewZipf(seed, scaled(200_000, scale), alpha, fixedOr(variable, twSizes(seed)), 0)
+			},
+		})
+		ps = append(ps, Preset{
+			Name:            fmt.Sprintf("ycsb-e-%.2g", alpha),
+			Family:          "ycsb",
+			Description:     fmt.Sprintf("YCSB workload E (scan-dominant, alpha=%.2g, max scan = key count)", alpha),
+			Type:            "A",
+			DefaultRequests: 2_000_000,
+			New: func(scale float64, seed uint64, variable bool) trace.Reader {
+				keys := scaled(50_000, scale)
+				return NewScan(seed, keys, alpha, keys, fixedOr(variable, twSizes(seed)))
+			},
+		})
+	}
+
+	// ---- Twitter ------------------------------------------------------
+	tw := func(name, desc, typ string, reqs int, build func(scale float64, seed uint64, variable bool) trace.Reader) Preset {
+		return Preset{Name: "tw-" + name, Family: "twitter", Description: desc, Type: typ, DefaultRequests: reqs, New: build}
+	}
+	ps = append(ps,
+		tw("26.0", "Twitter cluster 26: skewed with churn", "B", 3_000_000,
+			func(scale float64, seed uint64, variable bool) trace.Reader {
+				return NewTwitterLike(seed, TwitterParams{Keys: scaled(120_000, scale), Alpha: 1.15,
+					SetRatio: 0.05, ChurnPeriod: 200, Sizes: fixedOr(variable, twSizes(seed))})
+			}),
+		tw("34.1", "Twitter cluster 34: skew plus cyclic re-scan (Type A)", "A", 3_000_000,
+			func(scale float64, seed uint64, variable bool) trace.Reader {
+				sizes := fixedOr(variable, twSizes(seed))
+				keys := scaled(250_000, scale)
+				zipf := NewTwitterLike(seed, TwitterParams{Keys: keys, Alpha: 0.9, SetRatio: 0.03, Sizes: sizes})
+				loop := NewLoop(scaled(120_000, scale), sizes)
+				loop.SetKeySpace(1 << 40)
+				return NewMix(seed+1, []trace.Reader{zipf, loop}, []float64{0.55, 0.45})
+			}),
+		tw("45.0", "Twitter cluster 45: broad mild skew (Type B)", "B", 3_000_000,
+			func(scale float64, seed uint64, variable bool) trace.Reader {
+				return NewTwitterLike(seed, TwitterParams{Keys: scaled(350_000, scale), Alpha: 0.95,
+					SetRatio: 0.02, Sizes: fixedOr(variable, twSizes(seed))})
+			}),
+		tw("52.7", "Twitter cluster 52: small, write-heavy, churny", "B", 2_000_000,
+			func(scale float64, seed uint64, variable bool) trace.Reader {
+				return NewTwitterLike(seed, TwitterParams{Keys: scaled(60_000, scale), Alpha: 1.3,
+					SetRatio: 0.25, ChurnPeriod: 100, Sizes: fixedOr(variable, twSizes(seed))})
+			}),
+	)
+
+	// ---- Micro patterns -------------------------------------------------
+	ps = append(ps,
+		Preset{Name: "loop", Family: "micro", Type: "A",
+			Description:     "pure cyclic loop — adversarial recency pattern (§4.2)",
+			DefaultRequests: 1_000_000,
+			New: func(scale float64, seed uint64, variable bool) trace.Reader {
+				return NewLoop(scaled(50_000, scale), fixedOr(variable, twSizes(seed)))
+			}},
+		Preset{Name: "uniform", Family: "micro", Type: "B",
+			Description:     "uniform random — memoryless baseline",
+			DefaultRequests: 1_000_000,
+			New: func(scale float64, seed uint64, variable bool) trace.Reader {
+				return NewUniform(seed, scaled(100_000, scale), fixedOr(variable, twSizes(seed)))
+			}},
+		Preset{Name: "zipf", Family: "micro", Type: "B",
+			Description:     "plain Zipf(1.0)",
+			DefaultRequests: 1_000_000,
+			New: func(scale float64, seed uint64, variable bool) trace.Reader {
+				return NewZipf(seed, scaled(100_000, scale), 1.0, fixedOr(variable, twSizes(seed)), 0)
+			}},
+	)
+
+	// ---- Merged MSR master trace (§5.5 Table 5.4) -----------------------
+	msr := make([]Preset, 0, 13)
+	for _, p := range ps {
+		if p.Family == "msr" {
+			msr = append(msr, p)
+		}
+	}
+	ps = append(ps, Preset{
+		Name:            "msr-master",
+		Family:          "msr",
+		Description:     "all 13 MSR-like servers merged into one trace (disjoint key spaces)",
+		Type:            "A",
+		DefaultRequests: 10_000_000,
+		New: func(scale float64, seed uint64, variable bool) trace.Reader {
+			readers := make([]trace.Reader, len(msr))
+			weights := make([]float64, len(msr))
+			for i, p := range msr {
+				r := p.New(scale, seed+uint64(i)*101, variable)
+				// Separate each server's key space. All MSR-like
+				// readers are *MSRLike and support SetKeySpace.
+				if ks, ok := r.(interface{ SetKeySpace(uint64) }); ok {
+					ks.SetKeySpace(uint64(i+1) << 44)
+				}
+				readers[i] = r
+				weights[i] = float64(p.DefaultRequests)
+			}
+			return NewMix(seed, readers, weights)
+		},
+	})
+
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Name < ps[j].Name })
+	return ps
+}
+
+var registry = builtin()
+
+// Presets returns all built-in presets sorted by name.
+func Presets() []Preset { return registry }
+
+// ByName looks up a preset.
+func ByName(name string) (Preset, bool) {
+	for _, p := range registry {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Preset{}, false
+}
+
+// Names returns all preset names.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, p := range registry {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Family returns all presets in a family, sorted by name.
+func Family(family string) []Preset {
+	var out []Preset
+	for _, p := range registry {
+		if p.Family == family {
+			out = append(out, p)
+		}
+	}
+	return out
+}

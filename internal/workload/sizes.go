@@ -1,0 +1,176 @@
+// Package workload synthesizes the reference streams used by the
+// paper's evaluation. The original study replays licensed traces (MSR
+// Cambridge block I/O, YCSB, Twitter production caches); those cannot
+// ship with this repository, so each family is substituted by a
+// generator that reproduces the structural properties the KRR
+// evaluation actually depends on:
+//
+//   - MSR-like: mixtures of sequential scans, loops, and Zipf hotspots
+//     over a block address space. Scan/loop-heavy mixes produce the
+//     paper's "Type A" traces (K-sensitive MRCs); hotspot-heavy mixes
+//     produce "Type B" (K-insensitive) (§5.3, Fig 5.2).
+//   - YCSB C and E: direct reimplementations of the benchmark's
+//     Zipfian and scan-dominant request distributions (§5.2).
+//   - Twitter-like: power-law popularity with heavy-tailed per-key
+//     value sizes, exercising the variable-object-size path (§5.4).
+//
+// All generators are deterministic functions of their seed and
+// implement trace.Reader as unbounded streams; wrap them with
+// trace.LimitReader or trace.Collect to bound them.
+package workload
+
+import (
+	"math"
+
+	"krr/internal/hashing"
+	"krr/internal/xrand"
+)
+
+// SizeDist assigns a deterministic object size to each key. Sizes are
+// functions of the key (not of time) so that every model and simulator
+// observes identical sizes regardless of which subset of requests it
+// sees — mirroring the paper's convention of using the first-request
+// block size as the object size (§5.2).
+type SizeDist interface {
+	SizeOf(key uint64) uint32
+}
+
+// FixedSize gives every object the same size.
+type FixedSize uint32
+
+// SizeOf returns the fixed size.
+func (f FixedSize) SizeOf(uint64) uint32 { return uint32(f) }
+
+// keyUniform maps a key to a uniform value in (0, 1), stable across
+// runs, salted so that independent distributions decorrelate.
+func keyUniform(key, salt uint64) float64 {
+	u := float64(hashing.Mix64(key^salt)>>11) * (1.0 / (1 << 53))
+	// Keep clear of the endpoints for inverse-CDF transforms.
+	const eps = 1e-12
+	if u < eps {
+		u = eps
+	}
+	if u > 1-eps {
+		u = 1 - eps
+	}
+	return u
+}
+
+// LogNormalSize draws per-key sizes from a lognormal distribution,
+// the canonical fit for in-memory KV value sizes (Twitter, §5.2).
+type LogNormalSize struct {
+	// Mu and Sigma parameterize the underlying normal; the median
+	// object size is exp(Mu).
+	Mu, Sigma float64
+	// Min and Max clamp the result (Max 0 means no upper clamp).
+	Min, Max uint32
+	// Salt decorrelates this distribution from other per-key hashes.
+	Salt uint64
+}
+
+// SizeOf returns the deterministic size of key.
+func (l LogNormalSize) SizeOf(key uint64) uint32 {
+	u := keyUniform(key, 0x5b5e5a5755524f4c^l.Salt)
+	v := math.Exp(l.Mu + l.Sigma*xrand.InvNormCDF(u))
+	return clampSize(v, l.Min, l.Max)
+}
+
+// ParetoSize draws per-key sizes from a type-I Pareto distribution —
+// a heavier tail than lognormal, used for the most size-skewed
+// Twitter-like presets.
+type ParetoSize struct {
+	Xm    float64 // scale (minimum size)
+	Alpha float64 // tail exponent
+	Max   uint32  // upper clamp (0 means none)
+	Salt  uint64
+}
+
+// SizeOf returns the deterministic size of key.
+func (p ParetoSize) SizeOf(key uint64) uint32 {
+	u := keyUniform(key, 0x70617265746f5f5f^p.Salt)
+	v := p.Xm / math.Pow(1-u, 1/p.Alpha)
+	return clampSize(v, uint32(p.Xm), p.Max)
+}
+
+// UniformSize draws per-key sizes uniformly from [Min, Max].
+type UniformSize struct {
+	Min, Max uint32
+	Salt     uint64
+}
+
+// SizeOf returns the deterministic size of key.
+func (u UniformSize) SizeOf(key uint64) uint32 {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	p := keyUniform(key, 0x756e69666f726d5f^u.Salt)
+	return u.Min + uint32(p*float64(u.Max-u.Min+1))
+}
+
+// ChoiceSize picks among a small set of discrete sizes with weights —
+// modeling block-size mixes (MSR traces issue mostly 4 KiB with larger
+// multiples mixed in).
+type ChoiceSize struct {
+	Sizes   []uint32
+	Weights []float64 // same length as Sizes; need not be normalized
+	Salt    uint64
+}
+
+// SizeOf returns the deterministic size of key.
+func (c ChoiceSize) SizeOf(key uint64) uint32 {
+	if len(c.Sizes) == 0 {
+		return 0
+	}
+	var total float64
+	for _, w := range c.Weights {
+		total += w
+	}
+	if total <= 0 {
+		return c.Sizes[0]
+	}
+	u := keyUniform(key, 0x63686f6963655f5f^c.Salt) * total
+	for i, w := range c.Weights {
+		if u < w {
+			return c.Sizes[i]
+		}
+		u -= w
+	}
+	return c.Sizes[len(c.Sizes)-1]
+}
+
+// AddressSize assigns sizes by address region: ids below Boundary
+// draw from Below, the rest from Above. Generators pass the
+// pre-scramble id (block address / popularity rank) to SizeOf, so
+// this creates the size↔locality correlation real block traces have —
+// e.g. a hot region of small blocks with large sequential stripes
+// elsewhere — which is exactly what breaks the uniform-size
+// assumption (§5.4, Fig 5.3A).
+type AddressSize struct {
+	Boundary uint64
+	Below    SizeDist
+	Above    SizeDist
+}
+
+// SizeOf returns the deterministic size of id.
+func (a AddressSize) SizeOf(id uint64) uint32 {
+	if id < a.Boundary {
+		return a.Below.SizeOf(id)
+	}
+	return a.Above.SizeOf(id)
+}
+
+func clampSize(v float64, min, max uint32) uint32 {
+	if math.IsNaN(v) || v < 1 {
+		v = 1
+	}
+	if min > 0 && v < float64(min) {
+		v = float64(min)
+	}
+	if max > 0 && v > float64(max) {
+		v = float64(max)
+	}
+	if v > float64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(v)
+}

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"testing"
+
+	"krr/internal/trace"
+	"krr/internal/xrand"
+)
+
+// simulateMiss replays tr against a K-LRU cache (K <= 0 means exact
+// LRU) of the given object capacity and returns the miss ratio. Local
+// helper to avoid importing the simulator package (which imports
+// workload in its tests).
+func simulateMiss(tr *trace.Trace, capObjects, k int, seed uint64) float64 {
+	type ent struct {
+		key  uint64
+		last uint64
+	}
+	src := xrand.New(seed)
+	var ents []ent
+	idx := map[uint64]int{}
+	var clock uint64
+	var hits, total int
+	for _, req := range tr.Reqs {
+		clock++
+		total++
+		if i, ok := idx[req.Key]; ok {
+			ents[i].last = clock
+			hits++
+			continue
+		}
+		if len(ents) >= capObjects {
+			victim := 0
+			if k <= 0 {
+				// exact LRU: global minimum.
+				for i := 1; i < len(ents); i++ {
+					if ents[i].last < ents[victim].last {
+						victim = i
+					}
+				}
+			} else {
+				victim = int(src.Uint64n(uint64(len(ents))))
+				for j := 1; j < k; j++ {
+					cand := int(src.Uint64n(uint64(len(ents))))
+					if ents[cand].last < ents[victim].last {
+						victim = cand
+					}
+				}
+			}
+			delete(idx, ents[victim].key)
+			lastI := len(ents) - 1
+			if victim != lastI {
+				ents[victim] = ents[lastI]
+				idx[ents[victim].key] = victim
+			}
+			ents = ents[:lastI]
+		}
+		idx[req.Key] = len(ents)
+		ents = append(ents, ent{key: req.Key, last: clock})
+	}
+	return 1 - float64(hits)/float64(total)
+}
+
+// TestPresetTypeClassification validates the DESIGN.md substitution
+// claim: presets labeled Type A must show a clear K=1 ↔ LRU miss-ratio
+// gap, and Type B presets must not (§5.3, Fig 5.2).
+func TestPresetTypeClassification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cases := map[string]string{
+		"msr-web":     "A",
+		"msr-src2":    "A",
+		"ycsb-e-0.99": "A",
+		"msr-usr":     "B",
+		"msr-prxy":    "B",
+		"ycsb-c-0.99": "B",
+		"tw-45.0":     "B",
+	}
+	for name, wantType := range cases {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing preset %s", name)
+		}
+		if p.Type != wantType {
+			t.Fatalf("%s labeled %q, test expects %q", name, p.Type, wantType)
+		}
+		tr, err := trace.Collect(p.New(0.05, 11, false), 120000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, _ := trace.Summarize(tr.Reader())
+		// Probe the gap at 30% and 60% of the working set.
+		var maxGap float64
+		for _, frac := range []float64{0.3, 0.6} {
+			capObj := int(float64(sum.DistinctObjects) * frac)
+			if capObj < 1 {
+				capObj = 1
+			}
+			rnd := simulateMiss(tr, capObj, 1, 3)
+			lru := simulateMiss(tr, capObj, 0, 3)
+			gap := rnd - lru
+			if gap < 0 {
+				gap = -gap
+			}
+			if gap > maxGap {
+				maxGap = gap
+			}
+		}
+		switch wantType {
+		case "A":
+			if maxGap < 0.04 {
+				t.Errorf("%s (Type A): K=1↔LRU gap %.3f too small", name, maxGap)
+			}
+		default:
+			if maxGap > 0.06 {
+				t.Errorf("%s (Type B): K=1↔LRU gap %.3f too large", name, maxGap)
+			}
+		}
+	}
+}

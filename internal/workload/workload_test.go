@@ -1,0 +1,394 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"krr/internal/trace"
+)
+
+func collect(t *testing.T, r trace.Reader, n int) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Collect(r, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("collected %d, want %d", tr.Len(), n)
+	}
+	return tr
+}
+
+func TestScrambleKeyBijective(t *testing.T) {
+	seen := make(map[uint64]bool, 1<<16)
+	for r := uint64(0); r < 1<<16; r++ {
+		k := scrambleKey(r)
+		if seen[k] {
+			t.Fatalf("collision at rank %d", r)
+		}
+		seen[k] = true
+	}
+}
+
+func TestZipfGenDeterministic(t *testing.T) {
+	a := collect(t, NewZipf(7, 1000, 1.0, nil, 0.1), 500)
+	b := collect(t, NewZipf(7, 1000, 1.0, nil, 0.1), 500)
+	for i := range a.Reqs {
+		if a.Reqs[i] != b.Reqs[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestZipfGenKeyBound(t *testing.T) {
+	tr := collect(t, NewZipf(1, 100, 0.99, nil, 0), 10000)
+	distinct := map[uint64]bool{}
+	for _, r := range tr.Reqs {
+		distinct[r.Key] = true
+	}
+	if len(distinct) > 100 {
+		t.Fatalf("more distinct keys (%d) than key space (100)", len(distinct))
+	}
+}
+
+func TestZipfGenSetRatio(t *testing.T) {
+	tr := collect(t, NewZipf(1, 1000, 1.0, nil, 0.3), 20000)
+	sets := 0
+	for _, r := range tr.Reqs {
+		if r.Op == trace.OpSet {
+			sets++
+		}
+	}
+	got := float64(sets) / 20000
+	if math.Abs(got-0.3) > 0.02 {
+		t.Fatalf("set ratio %v, want ~0.3", got)
+	}
+}
+
+func TestScanGenSequentialRuns(t *testing.T) {
+	g := NewScan(3, 10000, 0.99, 50, nil)
+	tr := collect(t, g, 5000)
+	// Consecutive requests within a scan differ by the scramble
+	// constant; measure how often that happens. With max scan 50 the
+	// expected run length is ~25, so >= 85% of steps are sequential.
+	seq := 0
+	for i := 1; i < tr.Len(); i++ {
+		if tr.Reqs[i].Key-tr.Reqs[i-1].Key == scrambleKey(1)-scrambleKey(0) {
+			seq++
+		}
+	}
+	if frac := float64(seq) / float64(tr.Len()-1); frac < 0.80 {
+		t.Fatalf("sequential fraction %v too low for a scan workload", frac)
+	}
+}
+
+func TestScanGenDefaultsMaxLen(t *testing.T) {
+	g := NewScan(3, 1000, 1.0, 0, nil)
+	if g.maxScanLen != 1000 {
+		t.Fatalf("maxScanLen = %d, want keys", g.maxScanLen)
+	}
+}
+
+func TestLoopGenCycles(t *testing.T) {
+	g := NewLoop(5, nil)
+	tr := collect(t, g, 12)
+	for i := 0; i < 12; i++ {
+		want := scrambleKey(uint64(i % 5))
+		if tr.Reqs[i].Key != want {
+			t.Fatalf("position %d: got %d want %d", i, tr.Reqs[i].Key, want)
+		}
+	}
+}
+
+func TestUniformGenSpread(t *testing.T) {
+	g := NewUniform(9, 100, nil)
+	tr := collect(t, g, 20000)
+	distinct := map[uint64]bool{}
+	for _, r := range tr.Reqs {
+		distinct[r.Key] = true
+	}
+	if len(distinct) != 100 {
+		t.Fatalf("distinct = %d, want all 100", len(distinct))
+	}
+}
+
+func TestMSRLikePhases(t *testing.T) {
+	g := NewMSRLike(11, MSRParams{
+		Blocks: 10000, HotWeight: 1, SeqWeight: 1, LoopWeight: 1,
+		HotFraction: 0.1, HotAlpha: 1.0, SeqRunMean: 32, LoopLen: 1000, LoopRepeats: 2,
+	})
+	tr := collect(t, g, 50000)
+	s, err := trace.Summarize(tr.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DistinctObjects < 100 || s.DistinctObjects > 10000 {
+		t.Fatalf("distinct objects %d implausible", s.DistinctObjects)
+	}
+	// Loops must create exact re-reference patterns: reuse must exist.
+	if s.ColdMisses == s.Requests {
+		t.Fatal("no reuse generated")
+	}
+}
+
+func TestMSRLikePanics(t *testing.T) {
+	for _, p := range []MSRParams{
+		{},
+		{Blocks: 100},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("params %+v: expected panic", p)
+				}
+			}()
+			NewMSRLike(1, p)
+		}()
+	}
+}
+
+func TestMSRLikeDefaultsApplied(t *testing.T) {
+	g := NewMSRLike(1, MSRParams{Blocks: 100, HotWeight: 1})
+	tr := collect(t, g, 1000)
+	for _, r := range tr.Reqs {
+		if r.Size != trace.DefaultObjectSize {
+			t.Fatalf("default size not applied: %d", r.Size)
+		}
+	}
+}
+
+func TestTwitterLikeChurn(t *testing.T) {
+	g := NewTwitterLike(13, TwitterParams{Keys: 1000, Alpha: 1.2, ChurnPeriod: 10})
+	tr := collect(t, g, 50000)
+	s, _ := trace.Summarize(tr.Reader())
+	// Churn slides the window 5000 times, so distinct objects must
+	// exceed the base key count.
+	if s.DistinctObjects <= 1000 {
+		t.Fatalf("churn did not expand key population: %d", s.DistinctObjects)
+	}
+}
+
+func TestTwitterLikeVariableSizes(t *testing.T) {
+	g := NewTwitterLike(13, TwitterParams{Keys: 5000, Alpha: 1.0})
+	tr := collect(t, g, 20000)
+	sizes := map[uint32]bool{}
+	perKey := map[uint64]uint32{}
+	for _, r := range tr.Reqs {
+		sizes[r.Size] = true
+		if prev, ok := perKey[r.Key]; ok && prev != r.Size {
+			t.Fatal("object size must be stable per key")
+		}
+		perKey[r.Key] = r.Size
+	}
+	if len(sizes) < 100 {
+		t.Fatalf("size diversity too low: %d distinct sizes", len(sizes))
+	}
+}
+
+func TestMixInterleavesAllSources(t *testing.T) {
+	a := NewLoop(10, nil)
+	b := NewLoop(10, nil)
+	b.SetKeySpace(1 << 32)
+	m := NewMix(5, []trace.Reader{a, b}, []float64{1, 1})
+	tr := collect(t, m, 10000)
+	var fromA, fromB int
+	bMin := scrambleKey(1 << 32)
+	_ = bMin
+	for _, r := range tr.Reqs {
+		isA := false
+		for i := uint64(0); i < 10; i++ {
+			if r.Key == scrambleKey(i) {
+				isA = true
+				break
+			}
+		}
+		if isA {
+			fromA++
+		} else {
+			fromB++
+		}
+	}
+	if fromA < 4000 || fromB < 4000 {
+		t.Fatalf("unbalanced mix: a=%d b=%d", fromA, fromB)
+	}
+}
+
+func TestMixPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewMix(1, nil, nil) },
+		func() { NewMix(1, []trace.Reader{NewLoop(1, nil)}, []float64{1, 2}) },
+		func() { NewMix(1, []trace.Reader{NewLoop(1, nil)}, []float64{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSizeDistsDeterministicAndBounded(t *testing.T) {
+	dists := []SizeDist{
+		FixedSize(200),
+		LogNormalSize{Mu: 5.44, Sigma: 1.2, Min: 16, Max: 1 << 19},
+		ParetoSize{Xm: 64, Alpha: 1.5, Max: 1 << 20},
+		UniformSize{Min: 100, Max: 200},
+		ChoiceSize{Sizes: []uint32{4096, 8192}, Weights: []float64{1, 1}},
+	}
+	for di, d := range dists {
+		for k := uint64(0); k < 2000; k++ {
+			s1, s2 := d.SizeOf(k), d.SizeOf(k)
+			if s1 != s2 {
+				t.Fatalf("dist %d: nondeterministic at key %d", di, k)
+			}
+			if s1 == 0 {
+				t.Fatalf("dist %d: zero size at key %d", di, k)
+			}
+		}
+	}
+}
+
+func TestLogNormalSizeMedian(t *testing.T) {
+	d := LogNormalSize{Mu: math.Log(230), Sigma: 1.0, Min: 1, Max: 1 << 30}
+	below := 0
+	const n = 50000
+	for k := uint64(0); k < n; k++ {
+		if d.SizeOf(k) < 230 {
+			below++
+		}
+	}
+	if frac := float64(below) / n; math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("median check: %v below exp(mu)", frac)
+	}
+}
+
+func TestUniformSizeBounds(t *testing.T) {
+	d := UniformSize{Min: 10, Max: 20}
+	seen := map[uint32]bool{}
+	for k := uint64(0); k < 10000; k++ {
+		s := d.SizeOf(k)
+		if s < 10 || s > 20 {
+			t.Fatalf("out of bounds size %d", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != 11 {
+		t.Fatalf("expected all 11 sizes, saw %d", len(seen))
+	}
+	degenerate := UniformSize{Min: 7, Max: 7}
+	if degenerate.SizeOf(1) != 7 {
+		t.Fatal("degenerate uniform size wrong")
+	}
+}
+
+func TestChoiceSizeWeights(t *testing.T) {
+	d := ChoiceSize{Sizes: []uint32{1, 2}, Weights: []float64{9, 1}}
+	ones := 0
+	const n = 50000
+	for k := uint64(0); k < n; k++ {
+		if d.SizeOf(k) == 1 {
+			ones++
+		}
+	}
+	if frac := float64(ones) / n; math.Abs(frac-0.9) > 0.02 {
+		t.Fatalf("weight respected: got %v for 0.9-weight choice", frac)
+	}
+	empty := ChoiceSize{}
+	if empty.SizeOf(1) != 0 {
+		t.Fatal("empty choice must return 0")
+	}
+}
+
+func TestPresetsRegistry(t *testing.T) {
+	ps := Presets()
+	if len(ps) < 25 {
+		t.Fatalf("expected >= 25 presets, got %d", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		if names[p.Name] {
+			t.Fatalf("duplicate preset %s", p.Name)
+		}
+		names[p.Name] = true
+		if p.New == nil || p.DefaultRequests <= 0 {
+			t.Fatalf("preset %s incomplete", p.Name)
+		}
+	}
+	for _, want := range []string{"msr-src1", "msr-src2", "msr-web", "msr-proj", "msr-usr",
+		"msr-master", "ycsb-c-0.99", "ycsb-e-1.5", "tw-26.0", "tw-34.1", "tw-45.0", "tw-52.7", "loop"} {
+		if !names[want] {
+			t.Fatalf("missing preset %s", want)
+		}
+	}
+	if len(Family("msr")) != 14 { // 13 servers + master
+		t.Fatalf("msr family size %d", len(Family("msr")))
+	}
+}
+
+func TestEveryPresetGenerates(t *testing.T) {
+	for _, p := range Presets() {
+		for _, variable := range []bool{false, true} {
+			r := p.New(0.05, 42, variable)
+			tr, err := trace.Collect(r, 2000)
+			if err != nil || tr.Len() != 2000 {
+				t.Fatalf("%s variable=%v: len=%d err=%v", p.Name, variable, tr.Len(), err)
+			}
+			if !variable {
+				for _, req := range tr.Reqs {
+					if req.Size != trace.DefaultObjectSize {
+						t.Fatalf("%s fixed variant emitted size %d", p.Name, req.Size)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPresetDeterministicAcrossCalls(t *testing.T) {
+	p, ok := ByName("msr-web")
+	if !ok {
+		t.Fatal("missing msr-web")
+	}
+	a, _ := trace.Collect(p.New(0.1, 5, false), 3000)
+	b, _ := trace.Collect(p.New(0.1, 5, false), 3000)
+	for i := range a.Reqs {
+		if a.Reqs[i] != b.Reqs[i] {
+			t.Fatalf("preset not deterministic at %d", i)
+		}
+	}
+}
+
+func TestMasterTraceSeparatesKeySpaces(t *testing.T) {
+	p, _ := ByName("msr-master")
+	tr, _ := trace.Collect(p.New(0.02, 7, false), 20000)
+	s, _ := trace.Summarize(tr.Reader())
+	// The merged trace must touch more distinct objects than any single
+	// small server preset would at this scale.
+	if s.DistinctObjects < 2000 {
+		t.Fatalf("master trace distinct objects %d too small", s.DistinctObjects)
+	}
+}
+
+func TestByNameMiss(t *testing.T) {
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName must miss unknown presets")
+	}
+}
+
+func TestTypeAPresetsExist(t *testing.T) {
+	var a, b int
+	for _, p := range Presets() {
+		switch p.Type {
+		case "A":
+			a++
+		case "B":
+			b++
+		}
+	}
+	if a < 5 || b < 5 {
+		t.Fatalf("need both trace types represented: A=%d B=%d", a, b)
+	}
+}

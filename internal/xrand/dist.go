@@ -1,0 +1,141 @@
+package xrand
+
+import "math"
+
+// Zipf samples from a Zipf(α) distribution over {0, 1, ..., n-1} where
+// rank r is drawn with probability proportional to 1/(r+1)^α.
+//
+// The implementation is the rejection-inversion method of Hörmann and
+// Derflinger ("Rejection-inversion to generate variates from monotone
+// discrete distributions", 1996), the same algorithm used by YCSB's
+// ZipfianGenerator and math/rand.Zipf, reimplemented here so that the
+// workload generators share one deterministic Source and support
+// α ≤ 1 as well as α > 1 (α = 1 is handled by a harmonic special case
+// inside h/hInv).
+type Zipf struct {
+	src  *Source
+	n    uint64
+	q    float64 // skew exponent α
+	oneQ float64 // 1 - q
+	// Precomputed constants of the rejection-inversion scheme.
+	hIntegralX1        float64
+	hIntegralNumPoints float64
+	sCut               float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent q > 0.
+// It panics if n == 0 or q <= 0.
+func NewZipf(src *Source, q float64, n uint64) *Zipf {
+	if n == 0 {
+		panic("xrand: NewZipf with n == 0")
+	}
+	if q <= 0 {
+		panic("xrand: NewZipf with q <= 0")
+	}
+	z := &Zipf{src: src, n: n, q: q, oneQ: 1 - q}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralNumPoints = z.hIntegral(float64(n) + 0.5)
+	z.sCut = 2 - z.hIntegralInv(z.hIntegral(2.5)-z.h(2))
+	return z
+}
+
+// N returns the support size.
+func (z *Zipf) N() uint64 { return z.n }
+
+// Alpha returns the skew exponent.
+func (z *Zipf) Alpha() float64 { return z.q }
+
+// h is the density proxy x^-q.
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(-z.q * math.Log(x))
+}
+
+// hIntegral is the antiderivative of h.
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2((1-z.q)*logX) * logX
+}
+
+// hIntegralInv is the inverse of hIntegral.
+func (z *Zipf) hIntegralInv(x float64) float64 {
+	t := x * (1 - z.q)
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x, stable near zero.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1.0/3.0-0.25*x))
+}
+
+// helper2 computes expm1(x)/x, stable near zero.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x*(1.0/3.0)*(1+0.25*x))
+}
+
+// Uint64 draws the next Zipf deviate in [0, n).
+func (z *Zipf) Uint64() uint64 {
+	for {
+		u := z.hIntegralNumPoints + z.src.Float64()*(z.hIntegralX1-z.hIntegralNumPoints)
+		x := z.hIntegralInv(u)
+		k := x + 0.5
+		if k < 1 {
+			k = 1
+		} else if k > float64(z.n) {
+			k = float64(z.n)
+		}
+		kk := math.Floor(k)
+		if kk-x <= z.sCut || u >= z.hIntegral(kk+0.5)-z.h(kk) {
+			return uint64(kk) - 1
+		}
+	}
+}
+
+// LogNormal samples exp(N(mu, sigma^2)). Used for value-size
+// distributions of the Twitter-like workloads, whose object sizes are
+// heavy-tailed but bounded in practice.
+type LogNormal struct {
+	src       *Source
+	mu, sigma float64
+}
+
+// NewLogNormal returns a lognormal sampler. sigma must be >= 0.
+func NewLogNormal(src *Source, mu, sigma float64) *LogNormal {
+	if sigma < 0 {
+		panic("xrand: NewLogNormal with sigma < 0")
+	}
+	return &LogNormal{src: src, mu: mu, sigma: sigma}
+}
+
+// Float64 draws the next lognormal deviate.
+func (l *LogNormal) Float64() float64 {
+	return math.Exp(l.mu + l.sigma*l.src.NormFloat64())
+}
+
+// Pareto samples from a (type I) Pareto distribution with scale xm > 0
+// and shape alpha > 0: P(X > x) = (xm/x)^alpha for x >= xm.
+type Pareto struct {
+	src       *Source
+	xm, alpha float64
+}
+
+// NewPareto returns a Pareto sampler.
+func NewPareto(src *Source, xm, alpha float64) *Pareto {
+	if xm <= 0 || alpha <= 0 {
+		panic("xrand: NewPareto with non-positive parameter")
+	}
+	return &Pareto{src: src, xm: xm, alpha: alpha}
+}
+
+// Float64 draws the next Pareto deviate via inverse transform.
+func (p *Pareto) Float64() float64 {
+	return p.xm / math.Pow(p.src.Float64Open(), 1/p.alpha)
+}

@@ -1,0 +1,52 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInvNormCDFKnownValues(t *testing.T) {
+	cases := map[float64]float64{
+		0.5:       0,
+		0.8413447: 1, // Phi(1)
+		0.9772499: 2, // Phi(2)
+		0.1586553: -1,
+		0.025:     -1.959964,
+		0.975:     1.959964,
+		0.001:     -3.090232,
+		0.999:     3.090232,
+	}
+	for p, want := range cases {
+		if got := InvNormCDF(p); math.Abs(got-want) > 1e-4 {
+			t.Fatalf("InvNormCDF(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestInvNormCDFRoundTrip(t *testing.T) {
+	// Phi(InvNormCDF(p)) == p across the domain, including deep tails.
+	for _, p := range []float64{1e-10, 1e-6, 0.01, 0.3, 0.5, 0.7, 0.99, 1 - 1e-6} {
+		x := InvNormCDF(p)
+		back := 0.5 * math.Erfc(-x/math.Sqrt2)
+		if math.Abs(back-p) > 1e-9*(1+p) && math.Abs(back-p) > 1e-12 {
+			t.Fatalf("round trip p=%v: got %v", p, back)
+		}
+	}
+}
+
+func TestInvNormCDFEndpoints(t *testing.T) {
+	if !math.IsInf(InvNormCDF(0), -1) || !math.IsInf(InvNormCDF(1), 1) {
+		t.Fatal("endpoints must be infinite")
+	}
+}
+
+func TestInvNormCDFMonotone(t *testing.T) {
+	prev := math.Inf(-1)
+	for p := 0.001; p < 1; p += 0.001 {
+		x := InvNormCDF(p)
+		if x <= prev {
+			t.Fatalf("not monotone at p=%v", p)
+		}
+		prev = x
+	}
+}
