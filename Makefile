@@ -1,0 +1,23 @@
+# Developer entry points. `make check` is the CI gate.
+
+GO ?= go
+
+.PHONY: check fast test bench bench-smoke results
+
+check: ## vet + build + race tests + bench smoke
+	./scripts/check.sh
+
+fast: ## check without -race
+	./scripts/check.sh fast
+
+test:
+	$(GO) test ./...
+
+bench: ## full table/figure benchmark sweep
+	$(GO) test -run=NONE -bench=. -benchmem .
+
+bench-smoke: ## compile-and-run sanity pass over the Table 5.3 benches
+	$(GO) test -run=NONE -bench=Table5_3 -benchtime=100x .
+
+results: ## regenerate the paper tables/figures under results/
+	$(GO) run ./cmd/experiments -run all -out results

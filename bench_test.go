@@ -141,6 +141,31 @@ func BenchmarkTable5_3_BackwardSpatial(b *testing.B) {
 	replay(b, tr, prof.Process)
 }
 
+// --- Sharded pipeline: W-way hash-partitioned KRR --------------------
+
+// BenchmarkShardedKRR drives the sharded pipeline at several worker
+// counts over the Table 5.1 configuration (msr-web, K=8). Compare
+// against BenchmarkTable5_1_KRRModel/K=8 for the serial baseline; the
+// timed region includes routing, channel hand-off and the final drain
+// (Close), so ns/op is true end-to-end cost per request.
+func BenchmarkShardedKRR(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
+			tr := benchTrace(b, "msr-web", 1<<17, false)
+			sp, err := core.NewShardedProfiler(core.Config{K: 8, Seed: 1, Workers: w})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reqs := tr.Reqs
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp.Process(reqs[i%len(reqs)])
+			}
+			sp.Close()
+		})
+	}
+}
+
 // --- Fig 5.4: update overhead growth with K --------------------------
 
 func BenchmarkFig5_4_BackwardByK(b *testing.B) {

@@ -8,6 +8,7 @@
 //	krrmrc -preset msr-web -n 500000 -k 5 -model krr -bytes sizearray
 //	krrmrc -preset ycsb-c-0.99 -model lru
 //	krrmrc -preset msr-src1 -model sim -k 5 -points 25
+//	krrmrc -preset msr-web -model krr -k 8 -workers 4
 package main
 
 import (
@@ -36,6 +37,7 @@ func main() {
 		method    = flag.String("method", "backward", "krr update: backward, topdown, linear")
 		bytesMode = flag.String("bytes", "off", "byte distances: off, uniform, sizearray, fenwick")
 		rate      = flag.Float64("rate", 0, "spatial sampling rate (0 = off, krr/shards)")
+		workers   = flag.Int("workers", 0, "sharded pipeline workers (krr model; <=1 = serial)")
 		points    = flag.Int("points", 25, "simulated sizes (sim model)")
 		seed      = flag.Uint64("seed", 42, "random seed")
 		format    = flag.String("format", "csv", "output format: csv or json")
@@ -79,17 +81,33 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown bytes mode %q", *bytesMode))
 		}
-		p, err := core.NewProfiler(cfg)
-		if err != nil {
-			fatal(err)
-		}
-		if err := p.ProcessAll(tr.Reader()); err != nil {
-			fatal(err)
-		}
-		if wantBytes {
-			curve = p.ByteMRC()
+		if *workers > 1 {
+			cfg.Workers = *workers
+			sp, err := core.NewShardedProfiler(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			if err := sp.ProcessAll(tr.Reader()); err != nil {
+				fatal(err)
+			}
+			if wantBytes {
+				curve = sp.ByteMRC()
+			} else {
+				curve = sp.ObjectMRC()
+			}
 		} else {
-			curve = p.ObjectMRC()
+			p, err := core.NewProfiler(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			if err := p.ProcessAll(tr.Reader()); err != nil {
+				fatal(err)
+			}
+			if wantBytes {
+				curve = p.ByteMRC()
+			} else {
+				curve = p.ObjectMRC()
+			}
 		}
 	case "lru":
 		p := olken.NewProfiler(*seed)

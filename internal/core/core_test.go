@@ -167,11 +167,11 @@ func TestPositionMapStaysPermutation(t *testing.T) {
 			}
 			s.Reference(key, uint32(op%50)+1)
 		}
-		if len(s.pos) != s.Len() {
+		if s.pos.Len() != s.Len() {
 			return false
 		}
 		for i := 1; i <= s.Len(); i++ {
-			if s.pos[s.keys[i]] != int32(i) {
+			if s.pos.get(s.keys[i]) != int32(i) {
 				return false
 			}
 		}
@@ -428,8 +428,11 @@ func TestMemoryOverheadAccounting(t *testing.T) {
 	s := NewStack(2, 1)
 	fillStack(s, 100)
 	per := s.MemoryOverheadBytes() / 100
-	if per < 60 || per > 80 {
-		t.Fatalf("per-object overhead %d bytes, expected ~68-72 (§5.6)", per)
+	// Open-addressing index: 12 B array slot + 12 B/index slot at
+	// >= 3/8 instantaneous load — well under the paper's ~72 B/object
+	// bucketed-map accounting (§5.6), but never below the raw 24 B.
+	if per < 24 || per > 60 {
+		t.Fatalf("per-object overhead %d bytes, expected ~28-48 with the open-addressing index", per)
 	}
 }
 

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"krr/internal/xrand"
+)
+
+// TestPowOpenAccuracy sweeps the kernel's whole admissible domain and
+// bounds its relative error against math.Pow. The sampler quantizes
+// r^(1/K′) through ceil(r·(i-1)), so 1e-9 relative error is ~4 orders
+// of magnitude below the coarsest quantization any stack position
+// sees.
+func TestPowOpenAccuracy(t *testing.T) {
+	src := xrand.New(123)
+	const n = 2_000_000
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		x := src.Float64Open()
+		if i%5 == 0 {
+			// Stress tiny x (deep exponents) too.
+			x = math.Exp(-70 * src.Float64())
+			if x == 0 {
+				continue
+			}
+		}
+		p := src.Float64Open()
+		got := powOpen(x, p)
+		want := math.Pow(x, p)
+		rel := math.Abs(got-want) / want
+		if rel > worst {
+			worst = rel
+		}
+	}
+	if worst > 2e-9 {
+		t.Fatalf("worst relative error %.3e > 2e-9", worst)
+	}
+	// Boundary cases.
+	if powOpen(1, 0.3) != 1 {
+		t.Fatal("powOpen(1, p) != 1")
+	}
+	for _, p := range []float64{1e-6, 0.054, 0.5, 1} {
+		got := powOpen(math.SmallestNonzeroFloat64*1e16, p)
+		if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+			t.Fatalf("powOpen degenerate at tiny x, p=%v: %v", p, got)
+		}
+	}
+}
+
+// TestPowOpenMonotone: the inverse CDF must stay monotone in r or the
+// sampler's distribution warps.
+func TestPowOpenMonotone(t *testing.T) {
+	const p = 1 / 18.379 // K = 8 → 1/K′
+	prev := 0.0
+	for i := 1; i <= 100_000; i++ {
+		x := float64(i) / 100_000
+		v := powOpen(x, p)
+		if v < prev {
+			t.Fatalf("powOpen not monotone at x=%v", x)
+		}
+		prev = v
+	}
+	if prev > 1 {
+		t.Fatalf("powOpen(1-, p) = %v > 1", prev)
+	}
+}
+
+func BenchmarkPowOpen(b *testing.B) {
+	src := xrand.New(1)
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = src.Float64Open()
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += powOpen(xs[i&4095], 0.0544)
+	}
+	_ = sink
+}
+
+func BenchmarkMathPow(b *testing.B) {
+	src := xrand.New(1)
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = src.Float64Open()
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += math.Pow(xs[i&4095], 0.0544)
+	}
+	_ = sink
+}
+
+func BenchmarkExpLog(b *testing.B) {
+	src := xrand.New(1)
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = src.Float64Open()
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += math.Exp(0.0544 * math.Log(xs[i&4095]))
+	}
+	_ = sink
+}

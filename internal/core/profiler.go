@@ -62,6 +62,12 @@ type Config struct {
 	SamplingRate float64
 	// Seed fixes all randomness.
 	Seed uint64
+	// Workers > 1 opts into the sharded parallel pipeline: requests
+	// are hash-partitioned across Workers independent stacks and the
+	// histograms merged (see ShardedProfiler). 0 or 1 keeps the
+	// serial profiler. Only BuildMRC and ShardedProfiler honor it; a
+	// plain Profiler is always serial.
+	Workers int
 }
 
 func (c Config) kPrime() float64 {
@@ -77,6 +83,9 @@ func (c Config) validate() error {
 	}
 	if c.SamplingRate < 0 || c.SamplingRate > 1 {
 		return fmt.Errorf("core: sampling rate %v out of [0, 1]", c.SamplingRate)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: config Workers = %d, must be >= 0", c.Workers)
 	}
 	return nil
 }
@@ -232,8 +241,20 @@ func (p *Profiler) ResetHistograms() {
 }
 
 // BuildMRC is the one-call convenience: model a K-LRU cache over a
-// reader and return the object-granularity curve.
+// reader and return the object-granularity curve. cfg.Workers > 1
+// routes through the sharded parallel pipeline.
 func BuildMRC(r trace.Reader, cfg Config) (*mrc.Curve, error) {
+	if cfg.Workers > 1 {
+		sp, err := NewShardedProfiler(cfg)
+		if err != nil {
+			return nil, err
+		}
+		defer sp.Close()
+		if err := sp.ProcessAll(r); err != nil {
+			return nil, err
+		}
+		return sp.ObjectMRC(), nil
+	}
 	p, err := NewProfiler(cfg)
 	if err != nil {
 		return nil, err

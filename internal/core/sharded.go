@@ -1,0 +1,238 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"krr/internal/hashing"
+	"krr/internal/histogram"
+	"krr/internal/mrc"
+	"krr/internal/sampling"
+	"krr/internal/trace"
+)
+
+// ShardedProfiler partitions one request stream across W independent
+// KRR stacks and merges their histograms — the multicore form of the
+// one-pass profiler.
+//
+// Why this is statistically sound: sharding by a uniform hash of the
+// key is exactly SHARDS-style spatial partitioning (§2.4) with W
+// complementary filters of rate 1/W each. Every shard sees an
+// unbiased sample of the keyspace, so a stack distance d measured
+// inside a shard estimates d·W positions of the unsharded stack; the
+// merged histogram therefore scales its distances by W on top of any
+// spatial-sampling factor 1/R — the same rescaling SHARDS applies,
+// with the bonus that no reference is dropped (the W "samples"
+// together cover the whole stream).
+//
+// Mechanics: the caller's goroutine routes requests — spatial filter
+// first (so rejected requests never cross a channel), then shard
+// selection by Murmur3Fmix(key) mod W. Murmur3Fmix is deliberately a
+// different mixer family from the Mix64 the sampling filter uses, so
+// shard assignment is independent of sampling admission. Requests
+// travel in pooled batches (shardBatch requests) over one
+// single-producer single-consumer channel per worker, amortizing
+// channel synchronization to ~1/shardBatch per request. Each worker
+// owns a private Profiler (stack + histograms) and never shares
+// mutable state; the only cross-goroutine transfers are batch
+// hand-offs and the final merge after Close.
+//
+// The caller-facing API is single-producer: Process/ProcessAll must
+// not be called concurrently, and not after Close.
+type ShardedProfiler struct {
+	cfg    Config
+	filter *sampling.Filter
+
+	shards  []*Profiler
+	chans   []chan []trace.Request
+	pending [][]trace.Request
+	pool    sync.Pool
+	wg      sync.WaitGroup
+	closed  bool
+
+	seen    uint64
+	sampled uint64
+}
+
+// shardBatch is the routing batch size: large enough to amortize
+// channel overhead, small enough to keep per-shard latency and pooled
+// memory trivial (256 requests × 16 bytes = 4 KiB per buffer).
+const shardBatch = 256
+
+// shardChanDepth bounds in-flight batches per worker; combined with
+// the pool it caps pipeline memory at roughly
+// W × depth × shardBatch × 16 bytes.
+const shardChanDepth = 8
+
+// NewShardedProfiler builds a W-way sharded profiler from cfg
+// (cfg.Workers = W ≥ 1; 1 degenerates to a serial profiler behind the
+// same API). Worker stacks derive distinct seeds from cfg.Seed.
+func NewShardedProfiler(cfg Config) (*ShardedProfiler, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	w := cfg.Workers
+	if w < 1 {
+		w = 1
+	}
+	sp := &ShardedProfiler{
+		cfg:     cfg,
+		shards:  make([]*Profiler, w),
+		chans:   make([]chan []trace.Request, w),
+		pending: make([][]trace.Request, w),
+	}
+	sp.pool.New = func() any { return make([]trace.Request, 0, shardBatch) }
+	if cfg.SamplingRate > 0 && cfg.SamplingRate < 1 {
+		sp.filter = sampling.NewRate(cfg.SamplingRate)
+	}
+	for i := 0; i < w; i++ {
+		shardCfg := cfg
+		shardCfg.Workers = 0
+		// The router already filtered; a per-shard filter would
+		// square the sampling rate.
+		shardCfg.SamplingRate = 0
+		// Decorrelate per-shard stack randomness while keeping the
+		// whole pipeline deterministic in cfg.Seed.
+		shardCfg.Seed = hashing.Mix64(cfg.Seed ^ (uint64(i) + 1))
+		p, err := NewProfiler(shardCfg)
+		if err != nil {
+			return nil, err
+		}
+		sp.shards[i] = p
+		sp.chans[i] = make(chan []trace.Request, shardChanDepth)
+		sp.pending[i] = sp.pool.Get().([]trace.Request)
+		sp.wg.Add(1)
+		go sp.run(i)
+	}
+	return sp, nil
+}
+
+// run is the per-shard worker loop: drain batches into the private
+// profiler and recycle the buffers.
+func (sp *ShardedProfiler) run(i int) {
+	defer sp.wg.Done()
+	p := sp.shards[i]
+	for batch := range sp.chans[i] {
+		for _, req := range batch {
+			p.Process(req)
+		}
+		sp.pool.Put(batch[:0])
+	}
+}
+
+// Workers returns the shard count.
+func (sp *ShardedProfiler) Workers() int { return len(sp.shards) }
+
+// Seen returns the number of requests offered (before sampling).
+func (sp *ShardedProfiler) Seen() uint64 { return sp.seen }
+
+// Sampled returns the number of requests admitted by the filter.
+func (sp *ShardedProfiler) Sampled() uint64 { return sp.sampled }
+
+// Process routes one request to its shard. Single producer only.
+func (sp *ShardedProfiler) Process(req trace.Request) {
+	sp.seen++
+	if sp.filter != nil && !sp.filter.Sampled(req.Key) {
+		return
+	}
+	sp.sampled++
+	i := 0
+	if len(sp.shards) > 1 {
+		i = int(hashing.Murmur3Fmix(req.Key) % uint64(len(sp.shards)))
+	}
+	b := append(sp.pending[i], req)
+	if len(b) == shardBatch {
+		sp.chans[i] <- b
+		b = sp.pool.Get().([]trace.Request)
+	}
+	sp.pending[i] = b
+}
+
+// ProcessAll drains a reader through the router, pulling input in
+// batches when the reader supports it.
+func (sp *ShardedProfiler) ProcessAll(r trace.Reader) error {
+	var buf [shardBatch]trace.Request
+	for {
+		n, err := trace.ReadBatch(r, buf[:])
+		for _, req := range buf[:n] {
+			sp.Process(req)
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// Close flushes pending batches and waits for every worker to finish.
+// It is idempotent and must be called (directly or via the MRC
+// accessors) before reading results.
+func (sp *ShardedProfiler) Close() {
+	if sp.closed {
+		return
+	}
+	sp.closed = true
+	for i, b := range sp.pending {
+		if len(b) > 0 {
+			sp.chans[i] <- b
+		}
+		sp.pending[i] = nil
+		close(sp.chans[i])
+	}
+	sp.wg.Wait()
+}
+
+// scale converts per-shard sampled distances back to full-trace cache
+// sizes: W shards × spatial rate R give an effective per-shard rate
+// R/W, hence a W/R distance multiplier.
+func (sp *ShardedProfiler) scale() float64 {
+	s := float64(len(sp.shards))
+	if sp.filter != nil {
+		s /= sp.filter.Rate()
+	}
+	return s
+}
+
+// mergedObjHist folds the per-shard object histograms.
+func (sp *ShardedProfiler) mergedObjHist() *histogram.Dense {
+	merged := histogram.NewDense(1024)
+	for _, p := range sp.shards {
+		merged.Merge(p.ObjHist())
+	}
+	return merged
+}
+
+// ObjectMRC closes the pipeline and returns the merged
+// object-granularity miss ratio curve.
+func (sp *ShardedProfiler) ObjectMRC() *mrc.Curve {
+	sp.Close()
+	return mrc.FromHistogram(sp.mergedObjHist(), sp.scale())
+}
+
+// ByteMRC closes the pipeline and returns the merged byte-granularity
+// curve. It panics if the profiler was built with BytesOff.
+func (sp *ShardedProfiler) ByteMRC() *mrc.Curve {
+	sp.Close()
+	merged := histogram.NewLog()
+	for _, p := range sp.shards {
+		merged.Merge(p.ByteHist())
+	}
+	return mrc.FromHistogram(merged, sp.scale())
+}
+
+// Shard exposes shard i's profiler for inspection (stats, stack
+// state). Only safe after Close.
+func (sp *ShardedProfiler) Shard(i int) *Profiler { return sp.shards[i] }
+
+// MemoryOverheadBytes sums the §5.6 metadata accounting across
+// shards. Only safe after Close.
+func (sp *ShardedProfiler) MemoryOverheadBytes() uint64 {
+	var total uint64
+	for _, p := range sp.shards {
+		total += p.Stack().MemoryOverheadBytes()
+	}
+	return total
+}

@@ -225,8 +225,8 @@ func TestFig53UniVsVar(t *testing.T) {
 func TestTable53Ordering(t *testing.T) {
 	res := runOne(t, "table5.3")
 	tb := res.Tables[0]
-	if len(tb.Rows) != 6 {
-		t.Fatalf("rows = %d, want 6 methods", len(tb.Rows))
+	if len(tb.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 methods (6 serial + 2 sharded)", len(tb.Rows))
 	}
 	// The backward update must be faster per-request than the linear
 	// baseline (shape assertion from Table 5.3).

@@ -175,3 +175,117 @@ func TestInterfaceCompliance(t *testing.T) {
 	var _ Histogram = NewDense(1)
 	var _ Histogram = NewLog()
 }
+
+// collect snapshots a histogram as (cold, total, bucket map) for exact
+// comparison.
+func collect(h Histogram) (uint64, uint64, map[uint64]uint64) {
+	m := map[uint64]uint64{}
+	h.Buckets(func(d, c uint64) { m[d] += c })
+	return h.Cold(), h.Total(), m
+}
+
+// sameHist fails the test unless a and b are bucket-for-bucket equal.
+func sameHist(t *testing.T, label string, a, b Histogram) {
+	t.Helper()
+	ac, at, am := collect(a)
+	bc, bt, bm := collect(b)
+	if ac != bc || at != bt {
+		t.Fatalf("%s: cold/total (%d,%d) != (%d,%d)", label, ac, at, bc, bt)
+	}
+	if len(am) != len(bm) {
+		t.Fatalf("%s: bucket counts differ: %d vs %d", label, len(am), len(bm))
+	}
+	for d, c := range am {
+		if bm[d] != c {
+			t.Fatalf("%s: bucket %d: %d != %d", label, d, c, bm[d])
+		}
+	}
+}
+
+// TestDenseMergeExact: merging W shard histograms is bucket-for-bucket
+// identical to one histogram fed the concatenated stream — the
+// property the sharded profiler's final merge relies on.
+func TestDenseMergeExact(t *testing.T) {
+	const shards = 5
+	parts := make([]*Dense, shards)
+	for i := range parts {
+		parts[i] = NewDense(8)
+	}
+	whole := NewDense(8)
+	rng := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 20_000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		s := parts[rng%shards]
+		switch d := rng >> 32 % 4000; {
+		case d == 0:
+			s.AddCold()
+			whole.AddCold()
+		default:
+			s.Add(d)
+			whole.Add(d)
+		}
+	}
+	merged := NewDense(1)
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	sameHist(t, "dense", merged, whole)
+}
+
+// TestLogMergeExact is the Dense exactness property on the log-bucketed
+// byte histogram, spanning several octaves and sub-bucket boundaries.
+func TestLogMergeExact(t *testing.T) {
+	const shards = 4
+	parts := make([]*Log, shards)
+	for i := range parts {
+		parts[i] = NewLog()
+	}
+	whole := NewLog()
+	rng := uint64(12345)
+	for i := 0; i < 20_000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		s := parts[rng%shards]
+		d := rng >> 16 % (1 << 34)
+		if d == 0 {
+			s.AddCold()
+			whole.AddCold()
+			continue
+		}
+		s.Add(d)
+		whole.Add(d)
+	}
+	merged := NewLog()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	sameHist(t, "log", merged, whole)
+}
+
+// TestMergeEmpty: merging an empty histogram is a no-op, and merging
+// into an empty histogram copies the source exactly.
+func TestMergeEmpty(t *testing.T) {
+	a := NewDense(4)
+	a.Add(3)
+	a.AddCold()
+	a.Merge(NewDense(4))
+	if a.Total() != 2 || a.Cold() != 1 || a.Count(3) != 1 {
+		t.Fatalf("merge with empty changed a: %+v", a)
+	}
+	b := NewDense(1)
+	b.Merge(a)
+	sameHist(t, "empty-dst", b, a)
+
+	l := NewLog()
+	l.Add(77)
+	l.Merge(NewLog())
+	if l.Total() != 1 {
+		t.Fatal("log merge with empty changed totals")
+	}
+	m := NewLog()
+	m.Merge(l)
+	sameHist(t, "empty-dst-log", m, l)
+}

@@ -8,6 +8,7 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ForEach runs fn(i) for every i in [0, n) on up to workers goroutines.
@@ -29,29 +30,73 @@ func ForEach(n, workers int, fn func(i int)) {
 		}
 		return
 	}
-	var next int64
-	var mu sync.Mutex
-	grab := func() (int, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= int64(n) {
-			return 0, false
-		}
-		i := int(next)
-		next++
-		return i, true
-	}
+	// Lock-free work stealing: one fetch-add per index. At high
+	// worker counts a mutex-guarded counter serializes the grab and
+	// becomes the bottleneck for cheap bodies; an atomic increment
+	// is a single contended cache line with no parking.
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
-				i, ok := grab()
-				if !ok {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
 					return
 				}
-				fn(i)
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachChunked is ForEach for cheap bodies: workers claim
+// contiguous chunks of chunk indices with one atomic operation per
+// chunk, trading scheduling granularity for a 1/chunk reduction in
+// counter contention. chunk <= 0 picks a size that gives each worker
+// ~4 chunks.
+func ForEachChunked(n, workers, chunk int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if chunk <= 0 {
+		chunk = n / (workers * 4)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	if workers == 1 || chunk >= n {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
 			}
 		}()
 	}

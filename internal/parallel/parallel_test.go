@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -75,6 +76,34 @@ func TestGroupNoError(t *testing.T) {
 	if err := g.Wait(); err != nil {
 		t.Fatalf("Wait() = %v", err)
 	}
+}
+
+func TestForEachChunkedCoversAllIndices(t *testing.T) {
+	for _, tc := range []struct{ n, workers, chunk int }{
+		{1000, 4, 0}, {1000, 4, 7}, {5, 8, 2}, {1, 1, 0}, {0, 4, 16}, {1000, 1, 64},
+	} {
+		var hits sync.Map
+		var count atomic.Int64
+		ForEachChunked(tc.n, tc.workers, tc.chunk, func(i int) {
+			if _, dup := hits.LoadOrStore(i, true); dup {
+				t.Errorf("n=%d w=%d c=%d: index %d visited twice", tc.n, tc.workers, tc.chunk, i)
+			}
+			count.Add(1)
+		})
+		if int(count.Load()) != tc.n {
+			t.Fatalf("n=%d w=%d c=%d: visited %d indices", tc.n, tc.workers, tc.chunk, count.Load())
+		}
+	}
+}
+
+func BenchmarkForEachCheapBody(b *testing.B) {
+	var sink atomic.Int64
+	b.Run("ForEach", func(b *testing.B) {
+		ForEach(b.N, 8, func(i int) { sink.Add(1) })
+	})
+	b.Run("Chunked", func(b *testing.B) {
+		ForEachChunked(b.N, 8, 1024, func(i int) { sink.Add(1) })
+	})
 }
 
 func TestMapOrder(t *testing.T) {

@@ -86,6 +86,48 @@ func (r *sliceReader) Next() (Request, error) {
 	return req, nil
 }
 
+// NextBatch copies up to len(dst) requests, implementing BatchReader.
+func (r *sliceReader) NextBatch(dst []Request) (int, error) {
+	if r.pos >= len(r.reqs) {
+		return 0, io.EOF
+	}
+	n := copy(dst, r.reqs[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+// BatchReader is an optional fast path over Reader: NextBatch fills
+// dst with up to len(dst) requests and returns how many were written.
+// It returns 0, io.EOF once the stream is exhausted. High-throughput
+// consumers (the sharded profiler pipeline) use it to amortize the
+// per-request interface-call cost.
+type BatchReader interface {
+	Reader
+	NextBatch(dst []Request) (int, error)
+}
+
+// ReadBatch fills dst from r, using the BatchReader fast path when r
+// provides one and falling back to per-request Next calls otherwise.
+// It returns the number of requests written; n == 0 with io.EOF marks
+// the end of the stream. A short (non-zero) batch is not an EOF
+// indicator — callers keep reading until 0, io.EOF.
+func ReadBatch(r Reader, dst []Request) (int, error) {
+	if br, ok := r.(BatchReader); ok {
+		return br.NextBatch(dst)
+	}
+	for i := range dst {
+		req, err := r.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) && i > 0 {
+				return i, nil
+			}
+			return i, err
+		}
+		dst[i] = req
+	}
+	return len(dst), nil
+}
+
 // ReadAll drains a reader into an in-memory trace.
 func ReadAll(r Reader) (*Trace, error) {
 	t := &Trace{}

@@ -71,6 +71,11 @@ type Config = core.Config
 // Profiler builds K-LRU MRCs in one pass.
 type Profiler = core.Profiler
 
+// ShardedProfiler partitions one request stream across Config.Workers
+// independent KRR stacks (hash-sharded by key, SHARDS-style) and
+// merges their histograms. See NewShardedProfiler.
+type ShardedProfiler = core.ShardedProfiler
+
 // UpdateMethod selects the stack update sampler.
 type UpdateMethod = core.UpdateMethod
 
@@ -103,8 +108,19 @@ const (
 // NewProfiler builds a KRR profiler.
 func NewProfiler(cfg Config) (*Profiler, error) { return core.NewProfiler(cfg) }
 
+// NewShardedProfiler builds a cfg.Workers-way sharded profiler: the
+// caller's goroutine routes requests to per-worker stacks over batched
+// channels, and ObjectMRC/ByteMRC merge the per-shard histograms with
+// the SHARDS distance rescaling. Feed it with Process/ProcessAll from
+// a single goroutine and Close it (the MRC accessors do) before
+// reading results.
+func NewShardedProfiler(cfg Config) (*ShardedProfiler, error) {
+	return core.NewShardedProfiler(cfg)
+}
+
 // BuildMRC drains the reader through a KRR profiler and returns the
-// object-granularity miss ratio curve.
+// object-granularity miss ratio curve. With cfg.Workers > 1 the
+// requests are fanned out across a sharded profiler pipeline.
 func BuildMRC(r Reader, cfg Config) (*Curve, error) { return core.BuildMRC(r, cfg) }
 
 // KPrimeFor returns the corrected stack exponent K′ = K^1.4 used to

@@ -1,0 +1,28 @@
+#!/bin/sh
+# check.sh — the repo's CI gate: vet, build, race-enabled tests, and a
+# benchmark smoke pass (compile + a 100-iteration Table 5.3 sweep so
+# the bench harness itself can't rot). Run from the repo root:
+#
+#   ./scripts/check.sh          # full gate
+#   ./scripts/check.sh fast     # skip -race (quick local iteration)
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+if [ "${1:-}" = "fast" ]; then
+	echo "== go test (no race)"
+	go test ./...
+else
+	echo "== go test -race"
+	go test -race ./...
+fi
+
+echo "== bench smoke (Table 5.3, 100x)"
+go test -run=NONE -bench=Table5_3 -benchtime=100x .
+
+echo "check.sh: OK"
