@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"krr/internal/core"
+	"krr/internal/model"
 	"krr/internal/olken"
 	"krr/internal/redislike"
 	"krr/internal/shards"
@@ -162,6 +163,26 @@ func BenchmarkShardedKRR(b *testing.B) {
 				sp.Process(reqs[i%len(reqs)])
 			}
 			sp.Close()
+		})
+	}
+}
+
+// --- Model registry: per-request cost of every technique -------------
+
+// BenchmarkModels replays the Table 5.1 configuration (msr-web,
+// unsampled) through every registered model, one sub-benchmark per
+// registry entry, so cross-technique ns/req comparisons come from one
+// harness (results/models_bench.md). The timed loop is Process only;
+// curve construction is excluded.
+func BenchmarkModels(b *testing.B) {
+	for _, info := range model.All() {
+		b.Run(info.Name, func(b *testing.B) {
+			tr := benchTrace(b, "msr-web", 1<<17, false)
+			m, err := model.New(info.Name, model.Options{Seed: 1, SamplingRate: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			replay(b, tr, func(r trace.Request) { m.Process(r) })
 		})
 	}
 }

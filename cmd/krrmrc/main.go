@@ -1,6 +1,7 @@
 // Command krrmrc constructs a miss ratio curve from a trace in one
-// pass, using the KRR model (for K-LRU caches), the Olken exact-LRU
-// stack, SHARDS, or brute-force simulation.
+// pass, using any model registered in the unified model layer (KRR,
+// Olken exact-LRU, SHARDS, AET, Counter Stacks, MIMIR, ...) or
+// brute-force simulation.
 //
 // Usage:
 //
@@ -9,17 +10,18 @@
 //	krrmrc -preset ycsb-c-0.99 -model lru
 //	krrmrc -preset msr-src1 -model sim -k 5 -points 25
 //	krrmrc -preset msr-web -model krr -k 8 -workers 4
+//	krrmrc -list-models
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
-	"krr/internal/core"
+	"krr/internal/model"
 	"krr/internal/mrc"
-	"krr/internal/olken"
-	"krr/internal/shards"
 	"krr/internal/simulator"
 	"krr/internal/trace"
 	"krr/internal/workload"
@@ -27,23 +29,34 @@ import (
 
 func main() {
 	var (
-		traceFile = flag.String("trace", "", "binary trace file (alternative to -preset)")
-		preset    = flag.String("preset", "", "workload preset name")
-		n         = flag.Int("n", 0, "request cap (0 = whole trace / preset default)")
-		scale     = flag.Float64("scale", 1.0, "preset key-space scale")
-		variable  = flag.Bool("var", false, "variable object sizes for presets")
-		model     = flag.String("model", "krr", "model: krr, lru, shards, sim, opt")
-		k         = flag.Int("k", 5, "K-LRU sampling size (krr and sim models)")
-		method    = flag.String("method", "backward", "krr update: backward, topdown, linear")
-		bytesMode = flag.String("bytes", "off", "byte distances: off, uniform, sizearray, fenwick")
-		rate      = flag.Float64("rate", 0, "spatial sampling rate (0 = off, krr/shards)")
-		workers   = flag.Int("workers", 0, "sharded pipeline workers (krr model; <=1 = serial)")
-		points    = flag.Int("points", 25, "simulated sizes (sim model)")
-		seed      = flag.Uint64("seed", 42, "random seed")
-		format    = flag.String("format", "csv", "output format: csv or json")
-		out       = flag.String("o", "", "output file (default: stdout)")
+		traceFile  = flag.String("trace", "", "binary trace file (alternative to -preset)")
+		preset     = flag.String("preset", "", "workload preset name")
+		n          = flag.Int("n", 0, "request cap (0 = whole trace / preset default)")
+		scale      = flag.Float64("scale", 1.0, "preset key-space scale")
+		variable   = flag.Bool("var", false, "variable object sizes for presets")
+		modelName  = flag.String("model", "krr", "model name (see -list-models), or sim / opt")
+		k          = flag.Int("k", 5, "K-LRU sampling size (krr* and sim models)")
+		method     = flag.String("method", "", "krr update: backward, topdown, linear")
+		bytesMode  = flag.String("bytes", "off", "byte distances: off, on, uniform, sizearray, fenwick")
+		rate       = flag.Float64("rate", 0, "spatial sampling rate (0 = off / model default)")
+		workers    = flag.Int("workers", 0, "sharded pipeline workers (<=1 = serial)")
+		points     = flag.Int("points", 25, "simulated sizes (sim and opt models)")
+		seed       = flag.Uint64("seed", 42, "random seed")
+		format     = flag.String("format", "csv", "output format: csv or json")
+		out        = flag.String("o", "", "output file (default: stdout)")
+		listModels = flag.Bool("list-models", false, "print the model registry as a markdown table and exit")
 	)
 	flag.Parse()
+
+	if *listModels {
+		writeModelTable(os.Stdout)
+		return
+	}
+
+	name, err := resolveModel(*modelName, *method)
+	if err != nil {
+		fatal(err)
+	}
 
 	tr, err := loadTrace(*traceFile, *preset, *n, *scale, *seed, *variable)
 	if err != nil {
@@ -56,75 +69,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "krrmrc: %d requests, %d distinct objects\n", sum.Requests, sum.DistinctObjects)
 
 	var curve *mrc.Curve
-	switch *model {
-	case "krr":
-		cfg := core.Config{K: *k, Seed: *seed, SamplingRate: *rate}
-		switch *method {
-		case "backward":
-			cfg.Method = core.Backward
-		case "topdown":
-			cfg.Method = core.TopDown
-		case "linear":
-			cfg.Method = core.Linear
-		default:
-			fatal(fmt.Errorf("unknown method %q", *method))
-		}
-		wantBytes := false
-		switch *bytesMode {
-		case "off":
-		case "uniform":
-			cfg.Bytes, wantBytes = core.BytesUniform, true
-		case "sizearray":
-			cfg.Bytes, wantBytes = core.BytesSizeArray, true
-		case "fenwick":
-			cfg.Bytes, wantBytes = core.BytesFenwick, true
-		default:
-			fatal(fmt.Errorf("unknown bytes mode %q", *bytesMode))
-		}
-		if *workers > 1 {
-			cfg.Workers = *workers
-			sp, err := core.NewShardedProfiler(cfg)
-			if err != nil {
-				fatal(err)
-			}
-			if err := sp.ProcessAll(tr.Reader()); err != nil {
-				fatal(err)
-			}
-			if wantBytes {
-				curve = sp.ByteMRC()
-			} else {
-				curve = sp.ObjectMRC()
-			}
-		} else {
-			p, err := core.NewProfiler(cfg)
-			if err != nil {
-				fatal(err)
-			}
-			if err := p.ProcessAll(tr.Reader()); err != nil {
-				fatal(err)
-			}
-			if wantBytes {
-				curve = p.ByteMRC()
-			} else {
-				curve = p.ObjectMRC()
-			}
-		}
-	case "lru":
-		p := olken.NewProfiler(*seed)
-		if err := p.ProcessAll(tr.Reader()); err != nil {
-			fatal(err)
-		}
-		curve = p.ObjectMRC(1)
-	case "shards":
-		r := *rate
-		if r <= 0 {
-			r = 0.001
-		}
-		s := shards.NewFixedRate(r, *seed, true)
-		if err := s.ProcessAll(tr.Reader()); err != nil {
-			fatal(err)
-		}
-		curve = s.MRC()
+	switch name {
 	case "sim":
 		sizes := mrc.EvenSizes(uint64(sum.DistinctObjects), *points)
 		curve, err = simulator.KLRUMRC(tr, *k, sizes, *seed, 0)
@@ -135,7 +80,28 @@ func main() {
 		sizes := mrc.EvenSizes(uint64(sum.DistinctObjects), *points)
 		curve = simulator.OPTMRC(tr, sizes, 0)
 	default:
-		fatal(fmt.Errorf("unknown model %q", *model))
+		bm, ok := model.ByteModeByName(*bytesMode)
+		if !ok {
+			fatal(fmt.Errorf("unknown bytes mode %q", *bytesMode))
+		}
+		m, err := model.New(name, model.Options{
+			K:            *k,
+			Seed:         *seed,
+			SamplingRate: *rate,
+			Bytes:        bm,
+			Workers:      *workers,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := model.ProcessAll(m, tr.Reader()); err != nil {
+			fatal(err)
+		}
+		if bm != model.BytesOff {
+			curve = m.ByteMRC()
+		} else {
+			curve = m.ObjectMRC()
+		}
 	}
 
 	w := os.Stdout
@@ -158,6 +124,41 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+}
+
+// resolveModel folds the legacy -method flag into the registry name:
+// "-model krr -method topdown" selects krr-topdown. The simulator
+// pseudo-models sim and opt pass through untouched.
+func resolveModel(name, method string) (string, error) {
+	if name == "sim" || name == "opt" {
+		return name, nil
+	}
+	if method != "" && method != "backward" {
+		if name != "krr" {
+			return "", fmt.Errorf("-method only applies to -model krr")
+		}
+		name = "krr-" + method
+	}
+	if _, ok := model.Lookup(name); !ok {
+		return "", fmt.Errorf("unknown model %q (have %s, sim, opt)",
+			name, strings.Join(model.Names(), ", "))
+	}
+	return name, nil
+}
+
+// writeModelTable renders the registry as the markdown table embedded
+// in the README's "Models" section.
+func writeModelTable(w io.Writer) {
+	fmt.Fprintln(w, "| Model | Target | Technique | Per-reference cost | Capabilities |")
+	fmt.Fprintln(w, "|---|---|---|---|---|")
+	for _, info := range model.All() {
+		name := "`" + info.Name + "`"
+		if len(info.Aliases) > 0 {
+			name += " (alias `" + strings.Join(info.Aliases, "`, `") + "`)"
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s |\n",
+			name, info.Target, info.Paper, info.Complexity, info.Caps)
 	}
 }
 

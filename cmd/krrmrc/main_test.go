@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"krr/internal/trace"
@@ -57,5 +58,46 @@ func TestLoadTraceFromFile(t *testing.T) {
 func TestLoadTraceMissingFile(t *testing.T) {
 	if _, err := loadTrace("/nonexistent/file", "", 0, 1, 1, false); err == nil {
 		t.Fatal("missing file must error")
+	}
+}
+
+func TestResolveModel(t *testing.T) {
+	cases := []struct {
+		name, method string
+		want         string
+		wantErr      bool
+	}{
+		{"krr", "", "krr", false},
+		{"krr", "backward", "krr", false},
+		{"krr", "topdown", "krr-topdown", false},
+		{"krr", "linear", "krr-linear", false},
+		{"lru", "", "lru", false}, // alias resolves in the registry
+		{"aet", "", "aet", false},
+		{"sim", "", "sim", false},
+		{"opt", "", "opt", false},
+		{"olken", "topdown", "", true}, // -method is krr-only
+		{"krr", "sideways", "", true},
+		{"bogus", "", "", true},
+	}
+	for _, c := range cases {
+		got, err := resolveModel(c.name, c.method)
+		if c.wantErr != (err != nil) {
+			t.Errorf("resolveModel(%q, %q): err = %v, wantErr %v", c.name, c.method, err, c.wantErr)
+			continue
+		}
+		if !c.wantErr && got != c.want {
+			t.Errorf("resolveModel(%q, %q) = %q, want %q", c.name, c.method, got, c.want)
+		}
+	}
+}
+
+func TestWriteModelTable(t *testing.T) {
+	var sb strings.Builder
+	writeModelTable(&sb)
+	out := sb.String()
+	for _, want := range []string{"| Model |", "`krr`", "`olken` (alias `lru`)", "bytes,deletes,sharded"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("model table missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -3,12 +3,11 @@ package core
 import (
 	"errors"
 	"io"
-	"sync"
 
-	"krr/internal/hashing"
 	"krr/internal/histogram"
 	"krr/internal/mrc"
 	"krr/internal/sampling"
+	"krr/internal/shardpipe"
 	"krr/internal/trace"
 )
 
@@ -28,13 +27,9 @@ import (
 //
 // Mechanics: the caller's goroutine routes requests — spatial filter
 // first (so rejected requests never cross a channel), then shard
-// selection by Murmur3Fmix(key) mod W. Murmur3Fmix is deliberately a
-// different mixer family from the Mix64 the sampling filter uses, so
-// shard assignment is independent of sampling admission. Requests
-// travel in pooled batches (shardBatch requests) over one
-// single-producer single-consumer channel per worker, amortizing
-// channel synchronization to ~1/shardBatch per request. Each worker
-// owns a private Profiler (stack + histograms) and never shares
+// selection and batched hand-off through an internal/shardpipe.Pipe
+// (see that package for the batching/SPSC-channel details). Each
+// worker owns a private Profiler (stack + histograms) and never shares
 // mutable state; the only cross-goroutine transfers are batch
 // hand-offs and the final merge after Close.
 //
@@ -44,26 +39,12 @@ type ShardedProfiler struct {
 	cfg    Config
 	filter *sampling.Filter
 
-	shards  []*Profiler
-	chans   []chan []trace.Request
-	pending [][]trace.Request
-	pool    sync.Pool
-	wg      sync.WaitGroup
-	closed  bool
+	shards []*Profiler
+	pipe   *shardpipe.Pipe
 
 	seen    uint64
 	sampled uint64
 }
-
-// shardBatch is the routing batch size: large enough to amortize
-// channel overhead, small enough to keep per-shard latency and pooled
-// memory trivial (256 requests × 16 bytes = 4 KiB per buffer).
-const shardBatch = 256
-
-// shardChanDepth bounds in-flight batches per worker; combined with
-// the pool it caps pipeline memory at roughly
-// W × depth × shardBatch × 16 bytes.
-const shardChanDepth = 8
 
 // NewShardedProfiler builds a W-way sharded profiler from cfg
 // (cfg.Workers = W ≥ 1; 1 degenerates to a serial profiler behind the
@@ -77,12 +58,9 @@ func NewShardedProfiler(cfg Config) (*ShardedProfiler, error) {
 		w = 1
 	}
 	sp := &ShardedProfiler{
-		cfg:     cfg,
-		shards:  make([]*Profiler, w),
-		chans:   make([]chan []trace.Request, w),
-		pending: make([][]trace.Request, w),
+		cfg:    cfg,
+		shards: make([]*Profiler, w),
 	}
-	sp.pool.New = func() any { return make([]trace.Request, 0, shardBatch) }
 	if cfg.SamplingRate > 0 && cfg.SamplingRate < 1 {
 		sp.filter = sampling.NewRate(cfg.SamplingRate)
 	}
@@ -92,33 +70,17 @@ func NewShardedProfiler(cfg Config) (*ShardedProfiler, error) {
 		// The router already filtered; a per-shard filter would
 		// square the sampling rate.
 		shardCfg.SamplingRate = 0
-		// Decorrelate per-shard stack randomness while keeping the
-		// whole pipeline deterministic in cfg.Seed.
-		shardCfg.Seed = hashing.Mix64(cfg.Seed ^ (uint64(i) + 1))
+		shardCfg.Seed = shardpipe.ShardSeed(cfg.Seed, i)
 		p, err := NewProfiler(shardCfg)
 		if err != nil {
 			return nil, err
 		}
 		sp.shards[i] = p
-		sp.chans[i] = make(chan []trace.Request, shardChanDepth)
-		sp.pending[i] = sp.pool.Get().([]trace.Request)
-		sp.wg.Add(1)
-		go sp.run(i)
 	}
+	sp.pipe = shardpipe.New(w, func(shard int, req trace.Request) {
+		sp.shards[shard].Process(req)
+	})
 	return sp, nil
-}
-
-// run is the per-shard worker loop: drain batches into the private
-// profiler and recycle the buffers.
-func (sp *ShardedProfiler) run(i int) {
-	defer sp.wg.Done()
-	p := sp.shards[i]
-	for batch := range sp.chans[i] {
-		for _, req := range batch {
-			p.Process(req)
-		}
-		sp.pool.Put(batch[:0])
-	}
 }
 
 // Workers returns the shard count.
@@ -137,22 +99,13 @@ func (sp *ShardedProfiler) Process(req trace.Request) {
 		return
 	}
 	sp.sampled++
-	i := 0
-	if len(sp.shards) > 1 {
-		i = int(hashing.Murmur3Fmix(req.Key) % uint64(len(sp.shards)))
-	}
-	b := append(sp.pending[i], req)
-	if len(b) == shardBatch {
-		sp.chans[i] <- b
-		b = sp.pool.Get().([]trace.Request)
-	}
-	sp.pending[i] = b
+	sp.pipe.Send(sp.pipe.ShardOf(req.Key), req)
 }
 
 // ProcessAll drains a reader through the router, pulling input in
 // batches when the reader supports it.
 func (sp *ShardedProfiler) ProcessAll(r trace.Reader) error {
-	var buf [shardBatch]trace.Request
+	var buf [shardpipe.BatchLen]trace.Request
 	for {
 		n, err := trace.ReadBatch(r, buf[:])
 		for _, req := range buf[:n] {
@@ -170,20 +123,7 @@ func (sp *ShardedProfiler) ProcessAll(r trace.Reader) error {
 // Close flushes pending batches and waits for every worker to finish.
 // It is idempotent and must be called (directly or via the MRC
 // accessors) before reading results.
-func (sp *ShardedProfiler) Close() {
-	if sp.closed {
-		return
-	}
-	sp.closed = true
-	for i, b := range sp.pending {
-		if len(b) > 0 {
-			sp.chans[i] <- b
-		}
-		sp.pending[i] = nil
-		close(sp.chans[i])
-	}
-	sp.wg.Wait()
-}
+func (sp *ShardedProfiler) Close() { sp.pipe.Close() }
 
 // scale converts per-shard sampled distances back to full-trace cache
 // sizes: W shards × spatial rate R give an effective per-shard rate

@@ -161,14 +161,21 @@ func (s *Stack) pruneIfNeeded() {
 	}
 }
 
+// Flush evaluates the current partial batch, if any. ProcessAll calls
+// it at EOF; streaming consumers that feed Process directly (the
+// model layer) call it once before reading the curve.
+func (s *Stack) Flush() {
+	if s.pending > 0 {
+		s.finishBatch()
+	}
+}
+
 // ProcessAll drains a reader and flushes the final partial batch.
 func (s *Stack) ProcessAll(r trace.Reader) error {
 	for {
 		req, err := r.Next()
 		if errors.Is(err, io.EOF) {
-			if s.pending > 0 {
-				s.finishBatch()
-			}
+			s.Flush()
 			return nil
 		}
 		if err != nil {
@@ -188,3 +195,6 @@ func (s *Stack) Seen() uint64 { return s.seen }
 func (s *Stack) MRC() *mrc.Curve {
 	return mrc.FromHistogram(s.hist, 1)
 }
+
+// Hist exposes the stack-distance histogram.
+func (s *Stack) Hist() *histogram.Log { return s.hist }

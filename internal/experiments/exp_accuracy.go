@@ -3,9 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"krr/internal/core"
+	"krr/internal/model"
 	"krr/internal/mrc"
-	"krr/internal/olken"
 	"krr/internal/stats"
 	"krr/internal/workload"
 )
@@ -57,11 +56,10 @@ func runFig11(opt Options) (*Result, error) {
 		}
 		panel.Series = append(panel.Series, curveSeries(fmt.Sprintf("K=%d", k), c, sizes))
 	}
-	ol := olken.NewProfiler(1)
-	if err := ol.ProcessAll(tr.Reader()); err != nil {
+	exact, _, err := modelCurve(tr, "lru", model.Options{Seed: 1})
+	if err != nil {
 		return nil, err
 	}
-	exact := ol.ObjectMRC(1)
 	panel.Series = append(panel.Series, curveSeries("exact LRU", exact, sizes))
 
 	// Shape assertion: the K=1 and LRU curves must differ materially
@@ -131,17 +129,17 @@ func runTable51(opt Options) (*Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				model, _, err := krrCurve(tr, core.Config{K: k, Seed: opt.Seed})
+				pred, _, err := modelCurve(tr, "krr", model.Options{K: k, Seed: opt.Seed})
 				if err != nil {
 					return nil, err
 				}
-				mae := mrc.MAE(model, truth, sizes)
+				mae := mrc.MAE(pred, truth, sizes)
 				plain[ki].Add(mae)
 				if mae > worst {
 					worst = mae
 				}
 
-				sModel, _, err := krrCurve(tr, core.Config{K: k, Seed: opt.Seed, SamplingRate: rate})
+				sModel, _, err := modelCurve(tr, "krr", model.Options{K: k, Seed: opt.Seed, SamplingRate: rate})
 				if err != nil {
 					return nil, err
 				}
@@ -183,27 +181,27 @@ func runFig51(opt Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			model, _, err := krrCurve(tr, core.Config{K: k, Seed: opt.Seed})
+			pred, _, err := modelCurve(tr, "krr", model.Options{K: k, Seed: opt.Seed})
 			if err != nil {
 				return nil, err
 			}
-			spatial, _, err := krrCurve(tr, core.Config{K: k, Seed: opt.Seed, SamplingRate: rate})
+			spatial, _, err := modelCurve(tr, "krr", model.Options{K: k, Seed: opt.Seed, SamplingRate: rate})
 			if err != nil {
 				return nil, err
 			}
 			panel.Series = append(panel.Series,
 				curveSeries(fmt.Sprintf("real K=%d", k), truth, sizes),
-				curveSeries(fmt.Sprintf("KRR K=%d", k), model, sizes),
+				curveSeries(fmt.Sprintf("KRR K=%d", k), pred, sizes),
 				curveSeries(fmt.Sprintf("KRR+Spatial K=%d", k), spatial, sizes),
 			)
 			notes = append(notes, fmt.Sprintf("%s K=%d: KRR MAE %.4f, KRR+Spatial MAE %.4f",
-				name, k, mrc.MAE(model, truth, sizes), mrc.MAE(spatial, truth, sizes)))
+				name, k, mrc.MAE(pred, truth, sizes), mrc.MAE(spatial, truth, sizes)))
 		}
-		ol := olken.NewProfiler(1)
-		if err := ol.ProcessAll(tr.Reader()); err != nil {
+		exact, _, err := modelCurve(tr, "lru", model.Options{Seed: 1})
+		if err != nil {
 			return nil, err
 		}
-		panel.Series = append(panel.Series, curveSeries("exact LRU", ol.ObjectMRC(1), sizes))
+		panel.Series = append(panel.Series, curveSeries("exact LRU", exact, sizes))
 		fig.Panels = append(fig.Panels, panel)
 	}
 	return &Result{Figures: []Figure{fig}, Notes: notes}, nil
@@ -245,11 +243,11 @@ func runFig52(opt Options) (*Result, error) {
 					kMax = s
 				}
 			}
-			ol := olken.NewProfiler(1)
-			if err := ol.ProcessAll(tr.Reader()); err != nil {
+			exact, _, err := modelCurve(tr, "lru", model.Options{Seed: 1})
+			if err != nil {
 				return fig, err
 			}
-			lru := curveSeries("exact LRU", ol.ObjectMRC(1), sizes)
+			lru := curveSeries("exact LRU", exact, sizes)
 			panel.Series = append(panel.Series, lru)
 			fig.Panels = append(fig.Panels, panel)
 

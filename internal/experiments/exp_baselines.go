@@ -2,25 +2,23 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
-	"krr/internal/aet"
-	"krr/internal/counterstacks"
-	"krr/internal/mimir"
+	"krr/internal/model"
 	"krr/internal/mrc"
-	"krr/internal/olken"
-	"krr/internal/shards"
-	"krr/internal/trace"
 )
 
 func init() {
 	register(Experiment{
 		ID:          "ext.lru-baselines",
 		Title:       "Exact-LRU MRC techniques compared (§6.1)",
-		Description: "Olken stack (exact) vs SHARDS vs AET vs Counter Stacks: accuracy and runtime on one trace.",
+		Description: "Every registered LRU model (Olken, SHARDS, AET, StatStack, Counter Stacks, MIMIR): accuracy and runtime on one trace.",
 		Run:         runExtLRUBaselines,
 	})
 }
+
+// exactLRUReference is the registry entry used as the exact baseline
+// the other LRU models are scored against.
+const exactLRUReference = "olken"
 
 func runExtLRUBaselines(opt Options) (*Result, error) {
 	p := mustPreset("msr-web")
@@ -31,113 +29,52 @@ func runExtLRUBaselines(opt Options) (*Result, error) {
 	sizes := evalSizes(sum.DistinctObjects, opt.SimSizes)
 	rate := rateFor(sum.DistinctObjects)
 
-	type method struct {
-		name  string
-		run   func() (*mrc.Curve, error)
-		notes string
-	}
-
-	// Exact reference.
-	exactProf := olken.NewProfiler(1)
-	startExact := time.Now()
-	if err := exactProf.ProcessAll(tr.Reader()); err != nil {
+	// Exact reference: the unsampled Olken stack.
+	exact, exactTime, err := modelCurve(tr, exactLRUReference, model.Options{Seed: opt.Seed})
+	if err != nil {
 		return nil, err
 	}
-	exactTime := time.Since(startExact)
-	exact := exactProf.ObjectMRC(1)
 
 	table := Table{
 		Title:   fmt.Sprintf("Exact-LRU MRC techniques on msr-web-like (%d requests, M=%d)", tr.Len(), sum.DistinctObjects),
 		Columns: []string{"technique", "MAE vs exact", "time", "space model"},
 		Rows: [][]string{
-			{"Olken balanced-tree stack (exact)", "0 (reference)", dur(exactTime), "O(M) tree + hash"},
+			{exactLRUReference + " (exact reference)", "0 (reference)", dur(exactTime), registrySpace(exactLRUReference)},
 		},
 	}
 
-	methods := []method{
-		{
-			name: fmt.Sprintf("SHARDS fixed-rate (R=%.3g)", rate),
-			run: func() (*mrc.Curve, error) {
-				s := shards.NewFixedRate(rate, 2, true)
-				if err := s.ProcessAll(tr.Reader()); err != nil {
-					return nil, err
-				}
-				return s.MRC(), nil
-			},
-			notes: "O(R·M) tree",
-		},
-		{
-			name: "SHARDS fixed-size (s_max=8K)",
-			run: func() (*mrc.Curve, error) {
-				s := shards.NewFixedSize(1.0, 8192, 3)
-				if err := s.ProcessAll(tr.Reader()); err != nil {
-					return nil, err
-				}
-				return s.MRC(), nil
-			},
-			notes: "bounded: 8K objects",
-		},
-		{
-			name: fmt.Sprintf("AET (R=%.3g)", rate),
-			run: func() (*mrc.Curve, error) {
-				m := aet.New(rate)
-				if err := m.ProcessAll(tr.Reader()); err != nil {
-					return nil, err
-				}
-				return m.MRC(), nil
-			},
-			notes: "reuse-time histogram only",
-		},
-		{
-			name: "StatStack (same reuse histogram)",
-			run: func() (*mrc.Curve, error) {
-				m := aet.New(rate)
-				if err := m.ProcessAll(tr.Reader()); err != nil {
-					return nil, err
-				}
-				return m.StatStackMRC(), nil
-			},
-			notes: "reuse-time histogram only",
-		},
-		{
-			name: "Counter Stacks (d=1000, 64 counters)",
-			run: func() (*mrc.Curve, error) {
-				cs := counterstacks.New(counterstacks.Config{DownsampleInterval: 1000, MaxCounters: 64})
-				if err := cs.ProcessAll(tr.Reader()); err != nil {
-					return nil, err
-				}
-				return cs.MRC(), nil
-			},
-			notes: "64 HLL sketches",
-		},
-		{
-			name: "MIMIR (B=128 buckets)",
-			run: func() (*mrc.Curve, error) {
-				m := mimir.New(mimir.DefaultBuckets)
-				if err := m.ProcessAll(tr.Reader()); err != nil {
-					return nil, err
-				}
-				return m.MRC(), nil
-			},
-			notes: "O(B) per access",
-		},
-	}
-	for _, m := range methods {
-		start := time.Now()
-		curve, err := m.run()
+	// Every registered model of the exact-LRU target, spatially sampled
+	// at the paper's rate — no per-model wiring: the registry supplies
+	// construction and metadata.
+	for _, info := range model.ByTarget("lru") {
+		if info.Name == exactLRUReference {
+			continue
+		}
+		curve, elapsed, err := modelCurve(tr, info.Name, model.Options{
+			Seed:         opt.Seed,
+			SamplingRate: rate,
+		})
 		if err != nil {
 			return nil, err
 		}
-		elapsed := time.Since(start)
 		table.Rows = append(table.Rows, []string{
-			m.name, f4(mrc.MAE(curve, exact, sizes)), dur(elapsed), m.notes,
+			fmt.Sprintf("%s (R=%.3g)", info.Name, rate),
+			f4(mrc.MAE(curve, exact, sizes)),
+			dur(elapsed),
+			info.Space,
 		})
 	}
-	_ = trace.DefaultObjectSize
 	return &Result{
 		Tables: []Table{table},
 		Notes: []string{
-			"context (§2.3, §5.3): all four model *exact LRU*; for a K-LRU cache with small K they share the same systematic error that motivates KRR, and for K >= 32 any of them suffices",
+			"context (§2.3, §5.3): all techniques model *exact LRU*; for a K-LRU cache with small K they share the same systematic error that motivates KRR, and for K >= 32 any of them suffices",
+			"models are enumerated from the internal/model registry (ByTarget \"lru\"); adding a model there adds a row here",
 		},
 	}, nil
+}
+
+// registrySpace returns the registry's space summary for a model.
+func registrySpace(name string) string {
+	info, _ := model.Lookup(name)
+	return info.Space
 }

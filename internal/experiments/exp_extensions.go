@@ -4,10 +4,9 @@ import (
 	"fmt"
 	"time"
 
-	"krr/internal/aet"
-	"krr/internal/core"
 	"krr/internal/dlru"
 	"krr/internal/minisim"
+	"krr/internal/model"
 	"krr/internal/mrc"
 	"krr/internal/simulator"
 	"krr/internal/trace"
@@ -57,20 +56,17 @@ func runExtAET(opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		model, kTime, err := krrCurve(tr, core.Config{K: k, Seed: opt.Seed})
+		pred, kTime, err := modelCurve(tr, "krr", model.Options{K: k, Seed: opt.Seed})
 		if err != nil {
 			return nil, err
 		}
-		mon := aet.New(0)
-		start := time.Now()
-		if err := mon.ProcessAll(tr.Reader()); err != nil {
+		aCurve, aTime, err := modelCurve(tr, "aet", model.Options{Seed: opt.Seed})
+		if err != nil {
 			return nil, err
 		}
-		aTime := time.Since(start)
-		aCurve := mon.MRC()
 		table.Rows = append(table.Rows, []string{
 			fmt.Sprintf("%d", k),
-			f4(mrc.MAE(model, truth, sizes)), dur(kTime),
+			f4(mrc.MAE(pred, truth, sizes)), dur(kTime),
 			f4(mrc.MAE(aCurve, truth, sizes)), dur(aTime),
 		})
 	}
@@ -96,7 +92,7 @@ func runExtMinisim(opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	model, kTime, err := krrCurve(tr, core.Config{K: k, Seed: opt.Seed, SamplingRate: rate})
+	pred, kTime, err := modelCurve(tr, "krr", model.Options{K: k, Seed: opt.Seed, SamplingRate: rate})
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +111,7 @@ func runExtMinisim(opt Options) (*Result, error) {
 		Title:   fmt.Sprintf("msr-src1-like, K=%d, R=%.3g, %d sizes", k, rate, len(sizes)),
 		Columns: []string{"method", "MAE vs full simulation", "time"},
 		Rows: [][]string{
-			{"KRR + spatial (one pass, all sizes)", f4(mrc.MAE(model, truth, sizes)), dur(kTime)},
+			{"KRR + spatial (one pass, all sizes)", f4(mrc.MAE(pred, truth, sizes)), dur(kTime)},
 			{fmt.Sprintf("miniature simulation (%d caches)", len(sizes)), f4(mrc.MAE(mini, truth, sizes)), dur(mTime)},
 		},
 	}

@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"krr/internal/olken"
+	"krr/internal/model"
 	"krr/internal/simulator"
 	"krr/internal/stats"
 )
@@ -37,11 +37,10 @@ func runExtOPT(opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ol := olken.NewProfiler(1)
-		if err := ol.ProcessAll(tr.Reader()); err != nil {
+		lru, _, err := modelCurve(tr, exactLRUReference, model.Options{Seed: 1})
+		if err != nil {
 			return nil, err
 		}
-		lru := ol.ObjectMRC(1)
 
 		panel := Panel{
 			Title: fmt.Sprintf("%s (%s)", name, p.Type), XLabel: "cache size (# objects)", YLabel: "miss ratio",

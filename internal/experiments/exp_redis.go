@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"krr/internal/core"
+	"krr/internal/model"
 	"krr/internal/mrc"
 	"krr/internal/parallel"
 	"krr/internal/redislike"
@@ -76,7 +76,7 @@ func runFig55(opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		model, _, err := krrCurve(tr, core.Config{K: k, Seed: opt.Seed, SamplingRate: rate})
+		pred, _, err := modelCurve(tr, "krr", model.Options{K: k, Seed: opt.Seed, SamplingRate: rate})
 		if err != nil {
 			return nil, err
 		}
@@ -85,11 +85,11 @@ func runFig55(opt Options) (*Result, error) {
 			Series: []Series{
 				curveSeries("redislike", redis, sizes),
 				curveSeries("in-house simulator", sim, sizes),
-				curveSeries("KRR+Spatial", model, sizes),
+				curveSeries("KRR+Spatial", pred, sizes),
 			},
 		})
 		notes = append(notes, fmt.Sprintf("%s: KRR vs redislike MAE %.4f, simulator vs redislike MAE %.4f",
-			name, mrc.MAE(model, redis, sizes), mrc.MAE(sim, redis, sizes)))
+			name, mrc.MAE(pred, redis, sizes), mrc.MAE(sim, redis, sizes)))
 	}
 	notes = append(notes,
 		"expected shape (§5.7): KRR tracks the engine closely; a slight engine↔simulator gap remains from Redis's biased key sampling")

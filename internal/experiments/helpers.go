@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"krr/internal/core"
+	"krr/internal/model"
 	"krr/internal/mrc"
 	"krr/internal/sampling"
 	"krr/internal/simulator"
@@ -53,6 +54,23 @@ func evalSizes(distinct int, n int) []uint64 {
 // rateFor picks the spatial sampling rate with the paper's 8K-object
 // floor.
 func rateFor(distinct int) float64 { return sampling.RateFor(distinct) }
+
+// modelCurve replays the trace through a registered model and returns
+// its object curve and wall time. This is the standard path for
+// experiments; krrCurve below remains only for ablations that reach
+// into core.Config knobs the model layer does not expose (KPrime).
+func modelCurve(tr *trace.Trace, name string, opts model.Options) (*mrc.Curve, time.Duration, error) {
+	m, err := model.New(name, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	if err := model.ProcessAll(m, tr.Reader()); err != nil {
+		return nil, 0, err
+	}
+	curve := m.ObjectMRC()
+	return curve, time.Since(start), nil
+}
 
 // krrCurve runs a KRR profiler over the trace and returns its object
 // curve and wall time.

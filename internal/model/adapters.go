@@ -1,0 +1,393 @@
+package model
+
+import (
+	"krr/internal/aet"
+	"krr/internal/core"
+	"krr/internal/counterstacks"
+	"krr/internal/hashing"
+	"krr/internal/histogram"
+	"krr/internal/mimir"
+	"krr/internal/mrc"
+	"krr/internal/nsp"
+	"krr/internal/olken"
+	"krr/internal/sampling"
+	"krr/internal/shards"
+	"krr/internal/trace"
+)
+
+// streamModel is the one adapter shape every registered model is
+// expressed in: a spatial filter (external, applied here, or internal
+// to the technique and mirrored only for the Sampled counter), a
+// per-request process function, an optional finalization flush, and
+// curve constructors. CapSharded models additionally expose their raw
+// histograms for the Sharded wrapper's merge.
+type streamModel struct {
+	finalizer
+	// filter, when non-nil, drops unsampled requests before process —
+	// used by models with no sampling of their own; their curves are
+	// rescaled by 1/rate.
+	filter *sampling.Filter
+	// admit, when non-nil, mirrors an internal filter's admission
+	// decision purely for the Sampled counter (aet, shards).
+	admit     func(key uint64) bool
+	process   func(trace.Request)
+	flush     func() // optional; runs once at finalization
+	objCurve  func() *mrc.Curve
+	byteCurve func() *mrc.Curve // nil = byte curves off or unsupported
+
+	// Mergeable histograms for CapSharded models; nil otherwise.
+	objDense *histogram.Dense
+	byteLog  *histogram.Log
+
+	seen    uint64
+	sampled uint64
+}
+
+// Process implements Model.
+func (m *streamModel) Process(req trace.Request) error {
+	if err := m.guard(); err != nil {
+		return err
+	}
+	m.seen++
+	if m.filter != nil {
+		if !m.filter.Sampled(req.Key) {
+			return nil
+		}
+		m.sampled++
+	} else if m.admit == nil || m.admit(req.Key) {
+		m.sampled++
+	}
+	m.process(req)
+	return nil
+}
+
+// finalizeOnce flushes buffered state on the first curve read.
+func (m *streamModel) finalizeOnce() {
+	if !m.finalized && m.flush != nil {
+		m.flush()
+	}
+	m.finalize()
+}
+
+// ObjectMRC implements Model.
+func (m *streamModel) ObjectMRC() *mrc.Curve {
+	m.finalizeOnce()
+	return m.objCurve()
+}
+
+// ByteMRC implements Model.
+func (m *streamModel) ByteMRC() *mrc.Curve {
+	if m.byteCurve == nil {
+		return nil
+	}
+	m.finalizeOnce()
+	return m.byteCurve()
+}
+
+// Stats implements Model.
+func (m *streamModel) Stats() Stats {
+	return Stats{Seen: m.seen, Sampled: m.sampled, Finalized: m.finalized}
+}
+
+func (m *streamModel) objHist() *histogram.Dense { return m.objDense }
+func (m *streamModel) byteHist() *histogram.Log  { return m.byteLog }
+
+// extFilter builds the adapter-side spatial filter and the distance
+// rescale that undoes it (1/R), for models that do not sample
+// internally.
+func extFilter(o Options) (*sampling.Filter, float64) {
+	if !o.sampled() {
+		return nil, 1
+	}
+	f := sampling.NewRate(o.SamplingRate)
+	return f, 1 / f.Rate()
+}
+
+// --- KRR (core) -------------------------------------------------------
+
+// coreByteMode maps the unified byte mode onto KRR's tracker choices;
+// BytesOn means the paper's var-KRR sizeArray.
+func coreByteMode(m ByteMode) core.ByteMode {
+	switch m {
+	case BytesUniform:
+		return core.BytesUniform
+	case BytesFenwick:
+		return core.BytesFenwick
+	case BytesOn, BytesSizeArray:
+		return core.BytesSizeArray
+	default:
+		return core.BytesOff
+	}
+}
+
+func newKRR(method core.UpdateMethod) func(Options) (Model, error) {
+	return func(o Options) (Model, error) {
+		filter, scale := extFilter(o)
+		p, err := core.NewProfiler(core.Config{
+			K:      o.k(),
+			Seed:   o.Seed,
+			Method: method,
+			Bytes:  coreByteMode(o.Bytes),
+		})
+		if err != nil {
+			return nil, err
+		}
+		m := &streamModel{
+			filter:   filter,
+			process:  p.Process,
+			objCurve: func() *mrc.Curve { return mrc.FromHistogram(p.ObjHist(), scale) },
+			objDense: p.ObjHist(),
+		}
+		if o.Bytes != BytesOff {
+			m.byteCurve = func() *mrc.Curve { return mrc.FromHistogram(p.ByteHist(), scale) }
+			m.byteLog = p.ByteHist()
+		}
+		return m, nil
+	}
+}
+
+// --- Olken exact-LRU stack -------------------------------------------
+
+func newOlken(o Options) (Model, error) {
+	filter, scale := extFilter(o)
+	p := olken.NewProfiler(o.Seed)
+	m := &streamModel{
+		filter:   filter,
+		process:  p.Process,
+		objCurve: func() *mrc.Curve { return p.ObjectMRC(scale) },
+		objDense: p.ObjHist(),
+	}
+	if o.Bytes != BytesOff {
+		m.byteCurve = func() *mrc.Curve { return p.ByteMRC(scale) }
+		m.byteLog = p.ByteHist()
+	}
+	return m, nil
+}
+
+// --- SHARDS ----------------------------------------------------------
+
+// shardsRate resolves the rate for the shards* models, for which
+// SamplingRate is the technique's own parameter: 0 means the paper
+// default, 1 disables sampling (degenerating to an exact stack).
+func shardsRate(o Options) float64 {
+	if o.SamplingRate == 0 {
+		return sampling.DefaultRate
+	}
+	return o.SamplingRate
+}
+
+func newShardsFixedRate(o Options) (Model, error) {
+	rate := shardsRate(o)
+	s := shards.NewFixedRate(rate, o.Seed, true)
+	admit := sampling.NewRate(rate)
+	m := &streamModel{
+		admit:    admit.Sampled,
+		process:  s.Process,
+		objCurve: s.MRC,
+	}
+	if o.Bytes != BytesOff {
+		m.byteCurve = s.ByteMRC
+	}
+	return m, nil
+}
+
+// DefaultFixedSizeObjects is the sample-set bound for the
+// shards-fixedsize model, the paper's s_max (§2.4 / FAST '15 §4).
+const DefaultFixedSizeObjects = 8192
+
+func newShardsFixedSize(o Options) (Model, error) {
+	start := o.SamplingRate
+	if start == 0 {
+		start = 1.0 // SHARDS_adj starts unsampled and adapts down
+	}
+	s := shards.NewFixedSize(start, DefaultFixedSizeObjects, o.Seed)
+	return &streamModel{
+		admit: func(key uint64) bool {
+			return hashing.Mix64(key)%sampling.Modulus < s.Threshold()
+		},
+		process:  s.Process,
+		objCurve: s.MRC,
+	}, nil
+}
+
+// --- AET / StatStack -------------------------------------------------
+
+// newAETMonitor wires one reuse-time monitor behind the adapter. The
+// spatial filter stays inside the monitor: AET measures reuse times in
+// full-stream references, so the clock must tick on unsampled
+// requests too (which is also why its curves need no rescaling).
+func newAETMonitor(o Options, curve func(*aet.Monitor) *mrc.Curve) (Model, error) {
+	mon := aet.New(o.SamplingRate)
+	var admit func(uint64) bool
+	if o.sampled() {
+		admit = sampling.NewRate(o.SamplingRate).Sampled
+	}
+	return &streamModel{
+		admit:    admit,
+		process:  mon.Process,
+		objCurve: func() *mrc.Curve { return curve(mon) },
+	}, nil
+}
+
+func newAET(o Options) (Model, error) {
+	return newAETMonitor(o, (*aet.Monitor).MRC)
+}
+
+func newStatStack(o Options) (Model, error) {
+	return newAETMonitor(o, (*aet.Monitor).StatStackMRC)
+}
+
+// --- Counter Stacks --------------------------------------------------
+
+func newCounterStacks(o Options) (Model, error) {
+	filter, scale := extFilter(o)
+	cs := counterstacks.New(counterstacks.Config{})
+	return &streamModel{
+		filter:   filter,
+		process:  cs.Process,
+		flush:    cs.Flush,
+		objCurve: func() *mrc.Curve { return mrc.FromHistogram(cs.Hist(), scale) },
+	}, nil
+}
+
+// --- MIMIR -----------------------------------------------------------
+
+func newMimir(o Options) (Model, error) {
+	filter, scale := extFilter(o)
+	m := mimir.New(mimir.DefaultBuckets)
+	return &streamModel{
+		filter:   filter,
+		process:  m.Process,
+		objCurve: func() *mrc.Curve { return mrc.FromHistogram(m.Hist(), scale) },
+		objDense: m.Hist(),
+	}, nil
+}
+
+// --- NSP policies (LFU, MRU) -----------------------------------------
+
+func newNSP(policy nsp.Policy) func(Options) (Model, error) {
+	return func(o Options) (Model, error) {
+		filter, scale := extFilter(o)
+		s := nsp.New(policy, o.Seed)
+		return &streamModel{
+			filter:   filter,
+			process:  s.Process,
+			objCurve: func() *mrc.Curve { return mrc.FromHistogram(s.Hist(), scale) },
+		}, nil
+	}
+}
+
+// --- Registry --------------------------------------------------------
+
+func init() {
+	Register(Info{
+		Name:       "krr",
+		Aliases:    []string{"krr-backward"},
+		Target:     "klru",
+		Paper:      "Yang, Wang & Wang, ICPP '21",
+		Complexity: "O(K log M) expected/ref",
+		Space:      "O(M) array + open-address index",
+		Caps:       CapBytes | CapDeletes | CapSharded,
+		New:        newKRR(core.Backward),
+	})
+	Register(Info{
+		Name:       "krr-topdown",
+		Target:     "klru",
+		Paper:      "Yang, Wang & Wang, ICPP '21 (Alg. 1)",
+		Complexity: "O(K log² M) expected/ref",
+		Space:      "O(M) array + open-address index",
+		Caps:       CapBytes | CapDeletes | CapSharded,
+		New:        newKRR(core.TopDown),
+	})
+	Register(Info{
+		Name:       "krr-linear",
+		Target:     "klru",
+		Paper:      "Mattson et al. '70 walk, §2.2",
+		Complexity: "O(M)/ref",
+		Space:      "O(M) array + open-address index",
+		Caps:       CapBytes | CapDeletes | CapSharded,
+		New:        newKRR(core.Linear),
+	})
+	Register(Info{
+		Name:       "olken",
+		Aliases:    []string{"lru"},
+		Target:     "lru",
+		Paper:      "Olken '81 / Mattson et al. '70",
+		Complexity: "O(log M)/ref",
+		Space:      "O(M) treap + hash",
+		Caps:       CapBytes | CapDeletes | CapSharded,
+		New:        newOlken,
+	})
+	Register(Info{
+		Name:       "shards",
+		Target:     "lru",
+		Paper:      "Waldspurger et al., FAST '15",
+		Complexity: "O(log R·M) per sampled ref",
+		Space:      "O(R·M) tree",
+		Caps:       CapBytes | CapDeletes,
+		New:        newShardsFixedRate,
+	})
+	Register(Info{
+		Name:       "shards-fixedsize",
+		Target:     "lru",
+		Paper:      "Waldspurger et al., FAST '15 (SHARDS_adj)",
+		Complexity: "O(log s_max) per sampled ref",
+		Space:      "bounded: s_max objects",
+		Caps:       CapDeletes,
+		New:        newShardsFixedSize,
+	})
+	Register(Info{
+		Name:       "aet",
+		Target:     "lru",
+		Paper:      "Hu et al., USENIX ATC '16",
+		Complexity: "O(1) amortized/ref",
+		Space:      "reuse-time histogram + last-seen map",
+		Caps:       CapDeletes,
+		New:        newAET,
+	})
+	Register(Info{
+		Name:       "statstack",
+		Target:     "lru",
+		Paper:      "Eklöv & Hagersten, ISPASS '10",
+		Complexity: "O(1) amortized/ref",
+		Space:      "reuse-time histogram + last-seen map",
+		Caps:       CapDeletes,
+		New:        newStatStack,
+	})
+	Register(Info{
+		Name:       "counterstacks",
+		Target:     "lru",
+		Paper:      "Wires et al., OSDI '14",
+		Complexity: "O(C)/ref (C live counters)",
+		Space:      "C HLL sketches",
+		Caps:       0,
+		New:        newCounterStacks,
+	})
+	Register(Info{
+		Name:       "mimir",
+		Target:     "lru",
+		Paper:      "Saemundsson et al., SoCC '14",
+		Complexity: "O(1) amortized/ref",
+		Space:      "O(B) buckets + key map",
+		Caps:       CapDeletes | CapSharded,
+		New:        newMimir,
+	})
+	Register(Info{
+		Name:       "lfu",
+		Target:     "lfu",
+		Paper:      "Bilardi, Ekanadham & Pattnaik, CF '11 (NSP)",
+		Complexity: "O(log M)/ref",
+		Space:      "O(M) treap + maps",
+		Caps:       0,
+		New:        newNSP(nsp.LFU{}),
+	})
+	Register(Info{
+		Name:       "mru",
+		Target:     "mru",
+		Paper:      "Bilardi, Ekanadham & Pattnaik, CF '11 (NSP)",
+		Complexity: "O(log M)/ref",
+		Space:      "O(M) treap + maps",
+		Caps:       0,
+		New:        newNSP(nsp.MRU{}),
+	})
+}

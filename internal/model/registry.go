@@ -1,0 +1,122 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Info is one registry entry: identity, provenance, cost summary,
+// capability flags, and the factory.
+type Info struct {
+	// Name is the canonical registry key (also the CLI -model value).
+	Name string
+	// Aliases resolve to this entry in Lookup/New ("lru" → "olken").
+	Aliases []string
+	// Target is the replacement policy whose MRC the model
+	// constructs: "klru", "lru", "lfu" or "mru". Experiment runners
+	// group models by target instead of switching on names.
+	Target string
+	// Paper cites the technique's source.
+	Paper string
+	// Complexity summarizes the per-reference cost (M = tracked
+	// objects, K = sampling size).
+	Complexity string
+	// Space summarizes the resident state.
+	Space string
+	// Caps flags supported features; the conformance suite enforces
+	// them.
+	Caps Caps
+	// New builds a serial instance. Factories must honor every
+	// Options field covered by the entry's Caps and return an error —
+	// never panic — on unsupported combinations.
+	New func(Options) (Model, error)
+}
+
+var registry = map[string]Info{}
+
+// aliasIndex maps alias → canonical name.
+var aliasIndex = map[string]string{}
+
+// Register adds an entry; duplicate names or aliases are programming
+// errors.
+func Register(info Info) {
+	if info.Name == "" || info.New == nil {
+		panic("model: Register with empty name or nil factory")
+	}
+	if _, dup := registry[info.Name]; dup {
+		panic("model: duplicate registration of " + info.Name)
+	}
+	if _, dup := aliasIndex[info.Name]; dup {
+		panic("model: name " + info.Name + " already registered as an alias")
+	}
+	for _, a := range info.Aliases {
+		if _, dup := registry[a]; dup {
+			panic("model: alias " + a + " already registered as a name")
+		}
+		if _, dup := aliasIndex[a]; dup {
+			panic("model: duplicate alias " + a)
+		}
+		aliasIndex[a] = info.Name
+	}
+	registry[info.Name] = info
+}
+
+// Lookup resolves a name or alias.
+func Lookup(name string) (Info, bool) {
+	if canon, ok := aliasIndex[name]; ok {
+		name = canon
+	}
+	info, ok := registry[name]
+	return info, ok
+}
+
+// Names lists canonical registered names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered entry sorted by name.
+func All() []Info {
+	out := make([]Info, 0, len(registry))
+	for _, name := range Names() {
+		out = append(out, registry[name])
+	}
+	return out
+}
+
+// ByTarget returns the registered entries modeling one replacement
+// policy, sorted by name.
+func ByTarget(target string) []Info {
+	var out []Info
+	for _, info := range All() {
+		if info.Target == target {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// New validates opts against the named model's capabilities and
+// builds it. Options.Workers > 1 returns the model wrapped in the
+// sharded fan-out pipeline.
+func New(name string, opts Options) (Model, error) {
+	info, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("model: unknown model %q (have %v)", name, Names())
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Bytes != BytesOff && !info.Caps.Has(CapBytes) {
+		return nil, fmt.Errorf("model: %s does not support byte-granularity curves", info.Name)
+	}
+	if opts.Workers > 1 {
+		return NewSharded(name, opts.Workers, opts)
+	}
+	return info.New(opts)
+}

@@ -1,0 +1,159 @@
+package model
+
+import (
+	"fmt"
+
+	"krr/internal/histogram"
+	"krr/internal/mrc"
+	"krr/internal/sampling"
+	"krr/internal/shardpipe"
+	"krr/internal/trace"
+)
+
+// histSource is implemented by adapters whose registry entry declares
+// CapSharded: the Sharded wrapper reads shard histograms directly and
+// merges them, bypassing the sub-models' own curve accessors.
+type histSource interface {
+	objHist() *histogram.Dense
+	byteHist() *histogram.Log
+}
+
+// Sharded fans a request stream out over W instances of one model, one
+// per keyspace partition, and merges their histograms into a single
+// curve (§5.5's parallel decomposition, generalized beyond KRR).
+//
+// Correctness rests on the CapSharded contract: a uniform hash
+// partition of the keyspace is itself a spatial sample at rate 1/W, so
+// each shard's distances are unbiased samples and the merged histogram
+// is rescaled by W (times 1/R for any additional spatial sampling,
+// applied once at the router so shards see an identical admitted
+// stream regardless of W). The shard router hashes with a different
+// mixer family than the sampling filter, keeping the two partitions
+// independent.
+//
+// Process is single-producer: call it from one goroutine (the W-way
+// parallelism lives behind the pipe).
+type Sharded struct {
+	finalizer
+	pipe    *shardpipe.Pipe
+	subs    []Model
+	sources []histSource
+	filter  *sampling.Filter
+	bytes   bool
+	seen    uint64
+	sampled uint64
+}
+
+// NewSharded builds workers instances of the named model — shard i
+// seeded with shardpipe.ShardSeed(opts.Seed, i) — behind a batched
+// fan-out pipeline. The model must declare CapSharded. Spatial
+// sampling (opts.SamplingRate) is applied at the router; sub-models
+// are built unsampled and serial.
+func NewSharded(name string, workers int, opts Options) (*Sharded, error) {
+	info, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("model: unknown model %q (have %v)", name, Names())
+	}
+	if !info.Caps.Has(CapSharded) {
+		return nil, fmt.Errorf("model: %s histograms are not shard-mergeable (no CapSharded)", info.Name)
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Sharded{bytes: opts.Bytes != BytesOff}
+	if opts.sampled() {
+		s.filter = sampling.NewRate(opts.SamplingRate)
+	}
+	for i := 0; i < workers; i++ {
+		sub := opts
+		sub.Workers = 0
+		sub.SamplingRate = 0
+		sub.Seed = shardpipe.ShardSeed(opts.Seed, i)
+		m, err := info.New(sub)
+		if err != nil {
+			return nil, err
+		}
+		src, ok := m.(histSource)
+		if !ok || src.objHist() == nil {
+			return nil, fmt.Errorf("model: %s declares CapSharded but exposes no mergeable histogram", info.Name)
+		}
+		s.subs = append(s.subs, m)
+		s.sources = append(s.sources, src)
+	}
+	s.pipe = shardpipe.New(workers, func(shard int, req trace.Request) {
+		// Errors are impossible here: sub-models are never finalized —
+		// their histograms are read directly after the pipe drains.
+		_ = s.subs[shard].Process(req)
+	})
+	return s, nil
+}
+
+// Workers returns the shard count.
+func (s *Sharded) Workers() int { return s.pipe.Workers() }
+
+// Process implements Model. It routes the request to its key's shard;
+// the call returns once the request is enqueued, not processed.
+func (s *Sharded) Process(req trace.Request) error {
+	if err := s.guard(); err != nil {
+		return err
+	}
+	s.seen++
+	if s.filter != nil && !s.filter.Sampled(req.Key) {
+		return nil
+	}
+	s.sampled++
+	s.pipe.Send(s.pipe.ShardOf(req.Key), req)
+	return nil
+}
+
+// drain finalizes: flush and join the pipe, freeze the model.
+func (s *Sharded) drain() {
+	if !s.finalized {
+		s.pipe.Close()
+	}
+	s.finalize()
+}
+
+// scale is the distance rescale undoing both samplings: keyspace
+// partition (×W) and spatial filter (×1/R).
+func (s *Sharded) scale() float64 {
+	scale := float64(len(s.subs))
+	if s.filter != nil {
+		scale /= s.filter.Rate()
+	}
+	return scale
+}
+
+// ObjectMRC implements Model: it drains the pipeline, merges the shard
+// histograms and rescales distances by W/R.
+func (s *Sharded) ObjectMRC() *mrc.Curve {
+	s.drain()
+	merged := histogram.NewDense(1024)
+	for _, src := range s.sources {
+		merged.Merge(src.objHist())
+	}
+	return mrc.FromHistogram(merged, s.scale())
+}
+
+// ByteMRC implements Model; nil unless built with a byte mode.
+func (s *Sharded) ByteMRC() *mrc.Curve {
+	if !s.bytes {
+		return nil
+	}
+	s.drain()
+	merged := histogram.NewLog()
+	for _, src := range s.sources {
+		if h := src.byteHist(); h != nil {
+			merged.Merge(h)
+		}
+	}
+	return mrc.FromHistogram(merged, s.scale())
+}
+
+// Stats implements Model, reporting router-side counters.
+func (s *Sharded) Stats() Stats {
+	return Stats{Seen: s.seen, Sampled: s.sampled, Finalized: s.finalized}
+}

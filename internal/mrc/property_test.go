@@ -1,0 +1,106 @@
+package mrc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"krr/internal/histogram"
+)
+
+// fillRandom populates a histogram with a random mix of finite
+// distances (up to maxDist) and cold misses, returning (total refs,
+// cold refs). maxDist stays small for Dense — it allocates one slot
+// per distance — and large for Log.
+func fillRandom(rng *rand.Rand, h histogram.Histogram, maxDist int64) (total, cold uint64) {
+	n := 1 + rng.Intn(2000)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.1 {
+			h.AddCold()
+			cold++
+		} else {
+			// Mix short and long distances so both the head buckets and
+			// the tail are exercised.
+			var d uint64
+			if rng.Float64() < 0.5 {
+				d = 1 + uint64(rng.Intn(64))
+			} else {
+				d = 1 + uint64(rng.Int63n(maxDist))
+			}
+			h.Add(d)
+		}
+		total++
+	}
+	return total, cold
+}
+
+// checkCurveInvariants asserts the FromHistogram output contract:
+// starts at (0, 1), sizes strictly increasing, miss ratios within
+// [0, 1] and non-increasing, and the tail equal to the cold-miss
+// ratio.
+func checkCurveInvariants(t *testing.T, c *Curve, total, cold uint64, scale float64) {
+	t.Helper()
+	if len(c.Sizes) == 0 || c.Sizes[0] != 0 || c.Miss[0] != 1 {
+		t.Fatalf("curve must start at (0, 1); got %d points, first (%d, %v)",
+			len(c.Sizes), c.Sizes[0], c.Miss[0])
+	}
+	if len(c.Sizes) != len(c.Miss) {
+		t.Fatalf("len(Sizes) = %d != len(Miss) = %d", len(c.Sizes), len(c.Miss))
+	}
+	for i := 1; i < len(c.Sizes); i++ {
+		if c.Sizes[i] <= c.Sizes[i-1] {
+			t.Fatalf("sizes not strictly increasing at %d: %d after %d (scale %v)",
+				i, c.Sizes[i], c.Sizes[i-1], scale)
+		}
+		if c.Miss[i] < 0 || c.Miss[i] > 1 {
+			t.Fatalf("miss[%d] = %v out of [0, 1]", i, c.Miss[i])
+		}
+		if c.Miss[i] > c.Miss[i-1] {
+			t.Fatalf("miss increases at %d: %v after %v (scale %v)",
+				i, c.Miss[i], c.Miss[i-1], scale)
+		}
+	}
+	wantTail := float64(cold) / float64(total)
+	if got := c.Miss[len(c.Miss)-1]; math.Abs(got-wantTail) > 1e-12 {
+		t.Fatalf("tail miss = %v, want cold ratio %v", got, wantTail)
+	}
+}
+
+// TestFromHistogramProperties is the randomized contract check for
+// FromHistogram over both histogram implementations and a spread of
+// scales (1 = unsampled, 1/R for sampled streams, W/R for sharded
+// merges).
+func TestFromHistogramProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		var h histogram.Histogram
+		maxDist := int64(1) << 30
+		if trial%2 == 0 {
+			h = histogram.NewDense(1 + rng.Intn(512))
+			maxDist = 8192
+		} else {
+			h = histogram.NewLog()
+		}
+		total, cold := fillRandom(rng, h, maxDist)
+		// Scales from heavy downsampling rescale (1/0.001) down to
+		// fractional (distance-compressing) values.
+		scale := math.Exp(rng.Float64()*math.Log(2000)) / 2 // [0.5, 1000)
+		c := FromHistogram(h, scale)
+		checkCurveInvariants(t, c, total, cold, scale)
+	}
+}
+
+// TestFromHistogramColdOnly pins the degenerate all-cold stream: the
+// curve never drops below 1 anywhere.
+func TestFromHistogramColdOnly(t *testing.T) {
+	h := histogram.NewDense(4)
+	for i := 0; i < 10; i++ {
+		h.AddCold()
+	}
+	c := FromHistogram(h, 1)
+	for _, size := range []uint64{0, 1, 100, 1 << 40} {
+		if got := c.Eval(size); got != 1 {
+			t.Fatalf("all-cold stream: miss(%d) = %v, want 1", size, got)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package shardpipe implements the batched single-producer fan-out
+// pipeline behind every sharded model in this repository: one routing
+// goroutine partitions a request stream across W worker-owned
+// consumers over single-producer single-consumer channels, moving
+// requests in pooled batches so channel synchronization is amortized
+// to ~1/BatchLen per request.
+//
+// The pipeline carries no model state of its own — each worker invokes
+// a caller-supplied consume function against its shard's private
+// consumer, so any stack model whose histograms merge (see
+// internal/model's CapSharded) can ride the same plumbing. Extracted
+// from the original KRR ShardedProfiler so the router/batch/drain
+// machinery exists exactly once.
+package shardpipe
+
+import (
+	"sync"
+
+	"krr/internal/hashing"
+	"krr/internal/trace"
+)
+
+// BatchLen is the routing batch size: large enough to amortize channel
+// overhead, small enough to keep per-shard latency and pooled memory
+// trivial (256 requests × 16 bytes = 4 KiB per buffer).
+const BatchLen = 256
+
+// chanDepth bounds in-flight batches per worker; combined with the
+// pool it caps pipeline memory at roughly
+// W × chanDepth × BatchLen × 16 bytes.
+const chanDepth = 8
+
+// ShardSeed derives shard i's RNG seed from a pipeline seed,
+// decorrelating per-shard randomness while keeping the whole pipeline
+// deterministic in the one seed. Every sharded consumer uses this one
+// derivation so a serial model and its sharded form stay comparable
+// run-to-run.
+func ShardSeed(seed uint64, shard int) uint64 {
+	return hashing.Mix64(seed ^ (uint64(shard) + 1))
+}
+
+// Pipe fans one request stream out to W shard workers. The
+// caller-facing API is single-producer: Send must not be called
+// concurrently, and not after Close.
+type Pipe struct {
+	chans   []chan []trace.Request
+	pending [][]trace.Request
+	pool    sync.Pool
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// New starts a pipe with workers shard goroutines (workers >= 1).
+// Each worker calls consume(shard, req) for every request routed to
+// it, strictly in arrival order; consume runs on the worker goroutine
+// and must touch only shard-private state.
+func New(workers int, consume func(shard int, req trace.Request)) *Pipe {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pipe{
+		chans:   make([]chan []trace.Request, workers),
+		pending: make([][]trace.Request, workers),
+	}
+	p.pool.New = func() any { return make([]trace.Request, 0, BatchLen) }
+	for i := 0; i < workers; i++ {
+		p.chans[i] = make(chan []trace.Request, chanDepth)
+		p.pending[i] = p.pool.Get().([]trace.Request)
+		p.wg.Add(1)
+		go p.run(i, consume)
+	}
+	return p
+}
+
+// run is the per-shard worker loop: drain batches into consume and
+// recycle the buffers.
+func (p *Pipe) run(i int, consume func(int, trace.Request)) {
+	defer p.wg.Done()
+	for batch := range p.chans[i] {
+		for _, req := range batch {
+			consume(i, req)
+		}
+		p.pool.Put(batch[:0])
+	}
+}
+
+// Workers returns the shard count.
+func (p *Pipe) Workers() int { return len(p.chans) }
+
+// ShardOf returns the shard a key routes to. Murmur3Fmix is
+// deliberately a different mixer family from the Mix64 the sampling
+// filter uses, so shard assignment is independent of sampling
+// admission.
+func (p *Pipe) ShardOf(key uint64) int {
+	if len(p.chans) == 1 {
+		return 0
+	}
+	return int(hashing.Murmur3Fmix(key) % uint64(len(p.chans)))
+}
+
+// Send routes one request to shard i. Single producer only.
+func (p *Pipe) Send(i int, req trace.Request) {
+	b := append(p.pending[i], req)
+	if len(b) == BatchLen {
+		p.chans[i] <- b
+		b = p.pool.Get().([]trace.Request)
+	}
+	p.pending[i] = b
+}
+
+// Close flushes pending batches and waits for every worker to finish.
+// It is idempotent and must be called before reading shard state.
+func (p *Pipe) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for i, b := range p.pending {
+		if len(b) > 0 {
+			p.chans[i] <- b
+		}
+		p.pending[i] = nil
+		close(p.chans[i])
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,75 @@
+package shardpipe
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"krr/internal/trace"
+)
+
+// TestOrderAndCompleteness checks that every sent request arrives at
+// exactly the shard it was addressed to, in send order.
+func TestOrderAndCompleteness(t *testing.T) {
+	const workers = 4
+	const n = 10_000
+	got := make([][]uint64, workers)
+	p := New(workers, func(shard int, req trace.Request) {
+		got[shard] = append(got[shard], req.Key)
+	})
+	want := make([][]uint64, workers)
+	for i := uint64(0); i < n; i++ {
+		shard := p.ShardOf(i)
+		want[shard] = append(want[shard], i)
+		p.Send(shard, trace.Request{Key: i})
+	}
+	p.Close()
+	for s := 0; s < workers; s++ {
+		if len(got[s]) != len(want[s]) {
+			t.Fatalf("shard %d: got %d requests, want %d", s, len(got[s]), len(want[s]))
+		}
+		for i := range got[s] {
+			if got[s][i] != want[s][i] {
+				t.Fatalf("shard %d: request %d = key %d, want %d", s, i, got[s][i], want[s][i])
+			}
+		}
+	}
+}
+
+// TestCloseIdempotent verifies Close can be called repeatedly and that
+// a short (sub-batch) stream is fully flushed.
+func TestCloseIdempotent(t *testing.T) {
+	var count atomic.Uint64
+	p := New(2, func(int, trace.Request) { count.Add(1) })
+	for i := uint64(0); i < 7; i++ {
+		p.Send(p.ShardOf(i), trace.Request{Key: i})
+	}
+	p.Close()
+	p.Close()
+	if count.Load() != 7 {
+		t.Fatalf("consumed %d, want 7", count.Load())
+	}
+}
+
+// TestShardSeedDistinct ensures derived shard seeds differ from each
+// other and from the base seed.
+func TestShardSeedDistinct(t *testing.T) {
+	seen := map[uint64]bool{42: true}
+	for i := 0; i < 16; i++ {
+		s := ShardSeed(42, i)
+		if seen[s] {
+			t.Fatalf("ShardSeed(42, %d) = %d collides", i, s)
+		}
+		seen[s] = true
+	}
+}
+
+// TestSingleWorkerShardOf pins the degenerate W=1 routing.
+func TestSingleWorkerShardOf(t *testing.T) {
+	p := New(1, func(int, trace.Request) {})
+	defer p.Close()
+	for i := uint64(0); i < 100; i++ {
+		if p.ShardOf(i) != 0 {
+			t.Fatalf("ShardOf(%d) != 0 with one worker", i)
+		}
+	}
+}

@@ -139,6 +139,10 @@ func (s *FixedSize) Rate() float64 {
 	return float64(s.threshold) / sampling.Modulus
 }
 
+// Threshold returns the current sampling threshold T (the condition
+// is hash mod P < T).
+func (s *FixedSize) Threshold() uint64 { return s.threshold }
+
 // TrackedObjects returns the current sample-set size.
 func (s *FixedSize) TrackedObjects() int { return s.stack.Len() }
 

@@ -23,9 +23,9 @@ func TestNextUses(t *testing.T) {
 
 func TestNextUsesDeleteSevers(t *testing.T) {
 	tr := &trace.Trace{Reqs: []trace.Request{
-		{Key: 1},                      // next use severed by delete
-		{Key: 1, Op: trace.OpDelete},  //
-		{Key: 1},                      // last reference
+		{Key: 1},                     // next use severed by delete
+		{Key: 1, Op: trace.OpDelete}, //
+		{Key: 1},                     // last reference
 	}}
 	next := NextUses(tr)
 	if next[0] != infiniteNextUse {

@@ -14,6 +14,10 @@
 //     variable object sizes, and SHARDS-style spatial sampling.
 //   - Simulators (internal/simulator, internal/redislike) — ground
 //     truth: exact LRU, K-LRU, and a Redis-like engine.
+//   - Models (internal/model) — the unified streaming layer: every
+//     MRC technique (KRR, Olken, SHARDS, AET, Counter Stacks, MIMIR,
+//     NSP) behind one Model interface and name→factory registry; see
+//     Models, NewModel and BuildMRCWith.
 //   - Baselines (internal/olken, internal/shards, internal/stack) —
 //     exact-LRU stack models and SHARDS.
 //   - Workloads (internal/workload) — synthetic MSR-, YCSB- and
@@ -31,6 +35,7 @@ package krr
 
 import (
 	"krr/internal/core"
+	"krr/internal/model"
 	"krr/internal/mrc"
 	"krr/internal/sampling"
 	"krr/internal/simulator"
@@ -122,6 +127,41 @@ func NewShardedProfiler(cfg Config) (*ShardedProfiler, error) {
 // object-granularity miss ratio curve. With cfg.Workers > 1 the
 // requests are fanned out across a sharded profiler pipeline.
 func BuildMRC(r Reader, cfg Config) (*Curve, error) { return core.BuildMRC(r, cfg) }
+
+// Model is a streaming MRC constructor from the unified model layer:
+// any registered technique (KRR, Olken, SHARDS, AET, Counter Stacks,
+// MIMIR, ...) behind one interface.
+type Model = model.Model
+
+// ModelOptions configures any registered model; the zero value is
+// valid (K = 5, no sampling, object granularity, serial).
+type ModelOptions = model.Options
+
+// ModelInfo describes one registered model: name, provenance, cost
+// summary, and capability flags.
+type ModelInfo = model.Info
+
+// Models lists every registered MRC model, sorted by name.
+func Models() []ModelInfo { return model.All() }
+
+// NewModel builds a registered model by name (or alias, e.g. "lru").
+// ModelOptions.Workers > 1 wraps it in the sharded fan-out pipeline.
+func NewModel(name string, opts ModelOptions) (Model, error) {
+	return model.New(name, opts)
+}
+
+// BuildMRCWith drains the reader through the named registered model
+// and returns the object-granularity miss ratio curve.
+func BuildMRCWith(name string, r Reader, opts ModelOptions) (*Curve, error) {
+	m, err := model.New(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := model.ProcessAll(m, r); err != nil {
+		return nil, err
+	}
+	return m.ObjectMRC(), nil
+}
 
 // KPrimeFor returns the corrected stack exponent K′ = K^1.4 used to
 // model a K-LRU cache with sampling size K.

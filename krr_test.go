@@ -106,3 +106,43 @@ func TestFacadeVariableSizes(t *testing.T) {
 		t.Fatal("byte curve malformed")
 	}
 }
+
+func TestFacadeModelRegistry(t *testing.T) {
+	models := krr.Models()
+	if len(models) < 10 {
+		t.Fatalf("registry has %d models, want >= 10", len(models))
+	}
+	tr, err := krr.Collect(krr.PresetReader("zipf", 0.05, 7, false), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every registered model builds a curve through the facade.
+	for _, info := range models {
+		curve, err := krr.BuildMRCWith(info.Name, tr.Reader(), krr.ModelOptions{Seed: 3})
+		if err != nil {
+			t.Fatalf("BuildMRCWith(%s): %v", info.Name, err)
+		}
+		if curve.Eval(0) != 1 {
+			t.Fatalf("%s: miss(0) = %v, want 1", info.Name, curve.Eval(0))
+		}
+	}
+	// The alias and the sharded path work end to end.
+	if _, err := krr.BuildMRCWith("lru", tr.Reader(), krr.ModelOptions{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := krr.NewModel("krr", krr.ModelOptions{K: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range tr.Reqs {
+		if err := m.Process(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := m.Stats(); st.Seen != uint64(tr.Len()) {
+		t.Fatalf("Seen = %d, want %d", st.Seen, tr.Len())
+	}
+	if m.ObjectMRC() == nil {
+		t.Fatal("nil curve")
+	}
+}

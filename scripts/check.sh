@@ -1,12 +1,25 @@
 #!/bin/sh
-# check.sh — the repo's CI gate: vet, build, race-enabled tests, and a
-# benchmark smoke pass (compile + a 100-iteration Table 5.3 sweep so
-# the bench harness itself can't rot). Run from the repo root:
+# check.sh — the repo's CI gate: formatting, vet, build, race-enabled
+# tests, and a benchmark smoke pass (compile + a 100-iteration Table
+# 5.3 sweep so the bench harness itself can't rot). Run from the repo
+# root:
 #
 #   ./scripts/check.sh          # full gate
-#   ./scripts/check.sh fast     # skip -race (quick local iteration)
+#   ./scripts/check.sh fast     # skip full -race (quick local iteration)
+#
+# The model-registry conformance suite (internal/model) always runs
+# under -race, even in fast mode: it exercises the sharded fan-out
+# pipeline, whose bugs are data races by construction.
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== go vet"
 go vet ./...
@@ -17,6 +30,8 @@ go build ./...
 if [ "${1:-}" = "fast" ]; then
 	echo "== go test (no race)"
 	go test ./...
+	echo "== model conformance (-race)"
+	go test -race -run 'TestConformance|TestSharded' ./internal/model/ ./internal/shardpipe/
 else
 	echo "== go test -race"
 	go test -race ./...
