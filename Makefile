@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fast test bench bench-smoke results
+.PHONY: check fast test bench bench-smoke results difftest fuzz-short
 
 check: ## vet + build + race tests + bench smoke
 	./scripts/check.sh
@@ -21,3 +21,11 @@ bench-smoke: ## compile-and-run sanity pass over the Table 5.3 benches
 
 results: ## regenerate the paper tables/figures under results/
 	$(GO) run ./cmd/experiments -run all -out results
+
+difftest: ## long randomized differential sweep (seed via DIFFTEST_SEED)
+	$(GO) test -tags difftest -count=1 -run TestDifferentialRandomSweep -v ./internal/difftest/
+
+fuzz-short: ## 10s per fuzz target: trace codec + model process loops
+	$(GO) test -fuzz=FuzzReadBinary -fuzztime=10s ./internal/trace/
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=10s ./internal/trace/
+	$(GO) test -fuzz=FuzzModelProcess -fuzztime=10s ./internal/difftest/

@@ -11,6 +11,8 @@
 //	krrmrc -preset msr-src1 -model sim -k 5 -points 25
 //	krrmrc -preset msr-web -model krr -k 8 -workers 4
 //	krrmrc -list-models
+//	krrmrc -selftest
+//	krrmrc -selftest -trace web.trace -n 50000
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"krr/internal/difftest"
 	"krr/internal/model"
 	"krr/internal/mrc"
 	"krr/internal/simulator"
@@ -45,11 +48,16 @@ func main() {
 		format     = flag.String("format", "csv", "output format: csv or json")
 		out        = flag.String("o", "", "output file (default: stdout)")
 		listModels = flag.Bool("list-models", false, "print the model registry as a markdown table and exit")
+		selftest   = flag.Bool("selftest", false, "run the differential correctness harness and exit")
 	)
 	flag.Parse()
 
 	if *listModels {
 		writeModelTable(os.Stdout)
+		return
+	}
+	if *selftest {
+		runSelftest(*traceFile, *preset, *n, *scale, *seed, *variable, *k)
 		return
 	}
 
@@ -160,6 +168,43 @@ func writeModelTable(w io.Writer) {
 		fmt.Fprintf(w, "| %s | %s | %s | %s | %s |\n",
 			name, info.Target, info.Paper, info.Complexity, info.Caps)
 	}
+}
+
+// runSelftest drives every registered model through the differential
+// harness — against the built-in deterministic trials, or against a
+// user-supplied trace/preset when one is given — and exits non-zero
+// if any model leaves its declared error envelope.
+func runSelftest(file, preset string, n int, scale float64, seed uint64, variable bool, k int) {
+	var trials []difftest.Trial
+	if file != "" || preset != "" {
+		tr, err := loadTrace(file, preset, n, scale, seed, variable)
+		if err != nil {
+			fatal(err)
+		}
+		name := preset
+		if name == "" {
+			name = "trace"
+		}
+		trial, err := difftest.NewTrial(name, tr.Reader(), tr.Len(), k, seed)
+		if err != nil {
+			fatal(err)
+		}
+		trials = []difftest.Trial{trial}
+	} else {
+		trials = difftest.FastTrials()
+	}
+	runner := difftest.NewRunner(0)
+	failed := 0
+	for _, res := range runner.RunAll(trials) {
+		fmt.Println(res)
+		if !res.Pass() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("selftest: %d check(s) failed", failed))
+	}
+	fmt.Println("selftest: all models within their envelopes")
 }
 
 func loadTrace(file, preset string, n int, scale float64, seed uint64, variable bool) (*trace.Trace, error) {

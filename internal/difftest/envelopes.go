@@ -1,0 +1,91 @@
+package difftest
+
+import "krr/internal/model"
+
+// Per-model MAE envelopes against the exact simulators on the harness
+// trials, object granularity. These are declared bounds, not wishes:
+// the fast deterministic suite fails the build when a model drifts
+// past its envelope, so a perf PR that silently skews a technique
+// trips here first. Bounds are set ~2x above the MAE observed across
+// the default trials at the time of declaration, leaving room for
+// simulator sampling noise but not for systematic regressions.
+var envelopes = map[string]float64{
+	// K-LRU target: the model carries the expectation of a randomized
+	// policy while the reference is one simulated sample of it, so
+	// both sides contribute noise.
+	"krr":         0.06,
+	"krr-topdown": 0.06,
+	"krr-linear":  0.06,
+
+	// Exact-LRU target. Olken is exact — its envelope only absorbs
+	// step-vs-simulation interpolation at the evaluation sizes.
+	// Fixed-rate SHARDS carries real spatial-sampling variance on the
+	// harness's small skewed trials (observed up to ~0.07 at rate 0.3:
+	// whether the head keys land in the sample dominates), and Counter
+	// Stacks' sketch resolution is coarse on short traces (observed up
+	// to ~0.10 on the uniform trial).
+	"olken":            0.02,
+	"shards":           0.12,
+	"shards-fixedsize": 0.04,
+	"aet":              0.08,
+	"statstack":        0.08,
+	"counterstacks":    0.12,
+	"mimir":            0.12,
+
+	// Exact single-pass models of LFU and MRU caches. MRU's
+	// transposition stack reproduces simulation to float precision;
+	// LFU's priority-sorted stack can diverge hair-thin when a
+	// just-evicted object briefly outranks a resident.
+	"lfu": 0.03,
+	"mru": 0.02,
+}
+
+// byteEnvelopes bound the byte-granularity comparisons (CapBytes
+// models on variable-size trials). Byte curves stack logarithmic
+// histogram quantization on top of the object-granularity error.
+var byteEnvelopes = map[string]float64{
+	"krr":         0.08,
+	"krr-topdown": 0.08,
+	"krr-linear":  0.08,
+	"olken":       0.04,
+	"shards":      0.12,
+}
+
+// DefaultEnvelope is the bound applied to models registered after
+// this table was written; add an explicit entry when registering a
+// new technique.
+const DefaultEnvelope = 0.10
+
+// Envelope returns the declared object-granularity MAE bound.
+func Envelope(name string) float64 {
+	if e, ok := envelopes[name]; ok {
+		return e
+	}
+	return DefaultEnvelope
+}
+
+// ByteEnvelope returns the declared byte-granularity MAE bound.
+func ByteEnvelope(name string) float64 {
+	if e, ok := byteEnvelopes[name]; ok {
+		return e
+	}
+	return DefaultEnvelope
+}
+
+// harnessRate is the spatial sampling rate the harness hands the
+// shards model. The registry default (the paper's 0.001) is tuned for
+// multi-million-request traces; on the harness's deliberately small
+// trials it would sample a handful of keys and compare noise against
+// noise.
+const harnessRate = 0.3
+
+// ModelOptions returns the options the harness builds a model with on
+// a trial: the trial's seed and K, plus per-technique tuning needed
+// to make a small-trace comparison meaningful.
+func ModelOptions(name string, trial Trial) model.Options {
+	opts := model.Options{K: trial.K, Seed: trial.Seed}
+	if name == "shards" {
+		opts.SamplingRate = harnessRate
+	}
+	return opts
+}

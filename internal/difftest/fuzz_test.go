@@ -1,0 +1,62 @@
+package difftest
+
+import (
+	"bytes"
+	"testing"
+
+	"krr/internal/trace"
+	"krr/internal/workload"
+)
+
+// fuzzModels are the techniques cheap enough to run on every fuzz
+// input; between them they exercise the tree stack, the KRR array
+// core, both NSP engines, and the AET sampling path.
+var fuzzModels = []string{"olken", "krr", "lfu", "mru", "aet"}
+
+// fuzzMaxReqs caps decoded trace length so the fuzzer explores many
+// inputs instead of grinding a few huge ones.
+const fuzzMaxReqs = 2048
+
+func fuzzSeedTrace(n int) []byte {
+	g := workload.NewZipf(13, 64, 1.0, nil, 0.1)
+	tr, err := trace.Collect(g, n)
+	if err != nil {
+		panic(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzModelProcess drives arbitrary decoded traces through the cheap
+// models and holds every resulting curve to the structural
+// invariants: no Process loop may panic, loop forever, or emit a
+// malformed curve, whatever the request stream — including deletes of
+// absent keys, zero sizes, and pathological key patterns the binary
+// codec happens to decode.
+func FuzzModelProcess(f *testing.F) {
+	f.Add(fuzzSeedTrace(50))
+	f.Add(fuzzSeedTrace(400))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := trace.ReadBinary(bytes.NewReader(data))
+		if err != nil || tr.Len() == 0 {
+			return
+		}
+		if tr.Len() > fuzzMaxReqs {
+			tr.Reqs = tr.Reqs[:fuzzMaxReqs]
+		}
+		trial := Trial{Name: "fuzz", Trace: tr, K: 3, Seed: 1, Points: DefaultPoints}
+		for _, name := range fuzzModels {
+			curve, err := BuildCurve(name, trial, false)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if err := CheckCurve(curve); err != nil {
+				t.Fatalf("%s: invariant violated: %v", name, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package difftest
+
+import (
+	"fmt"
+
+	"krr/internal/mrc"
+)
+
+// monotoneSlack is the float jitter tolerated in the monotonicity
+// check: weighted-histogram curves sum float64 weights, so adjacent
+// miss ratios can differ by summation noise without the curve being
+// wrong.
+const monotoneSlack = 1e-9
+
+// CheckCurve validates the structural invariants every miss ratio
+// curve must satisfy regardless of technique:
+//
+//   - non-empty, with parallel Sizes/Miss slices,
+//   - sizes strictly increasing,
+//   - miss ratios within [0, 1],
+//   - miss monotone non-increasing in cache size (larger caches
+//     cannot miss more under stack-inclusion policies).
+func CheckCurve(c *mrc.Curve) error {
+	if c == nil {
+		return fmt.Errorf("nil curve")
+	}
+	if len(c.Sizes) == 0 {
+		return fmt.Errorf("empty curve")
+	}
+	if len(c.Sizes) != len(c.Miss) {
+		return fmt.Errorf("parallel slices diverge: %d sizes vs %d miss values", len(c.Sizes), len(c.Miss))
+	}
+	for i := range c.Sizes {
+		if i > 0 && c.Sizes[i] <= c.Sizes[i-1] {
+			return fmt.Errorf("sizes not strictly increasing at %d: %d after %d", i, c.Sizes[i], c.Sizes[i-1])
+		}
+		if c.Miss[i] < 0 || c.Miss[i] > 1 {
+			return fmt.Errorf("miss[%d] = %v out of [0, 1]", i, c.Miss[i])
+		}
+		if i > 0 && c.Miss[i] > c.Miss[i-1]+monotoneSlack {
+			return fmt.Errorf("miss ratio increases at %d: %v after %v", i, c.Miss[i], c.Miss[i-1])
+		}
+	}
+	return nil
+}

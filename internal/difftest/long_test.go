@@ -1,0 +1,56 @@
+//go:build difftest
+
+package difftest
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"krr/internal/model"
+)
+
+// TestDifferentialRandomSweep is the long randomized mode, built only
+// with -tags difftest:
+//
+//	go test -tags difftest -run RandomSweep ./internal/difftest/
+//
+// Each run draws DIFFTEST_TRIALS randomized workloads (default 6)
+// from DIFFTEST_SEED (default 1; vary it across runs to explore fresh
+// traces) and holds every registered model to the same envelopes as
+// the fast suite. Failing traces are shrunk into corpus/, where the
+// fast suite replays them forever after.
+func TestDifferentialRandomSweep(t *testing.T) {
+	seed := uint64(1)
+	if v := os.Getenv("DIFFTEST_SEED"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			t.Fatalf("DIFFTEST_SEED: %v", err)
+		}
+		seed = n
+	}
+	n := 6
+	if v := os.Getenv("DIFFTEST_TRIALS"); v != "" {
+		m, err := strconv.Atoi(v)
+		if err != nil || m <= 0 {
+			t.Fatalf("DIFFTEST_TRIALS: %q", v)
+		}
+		n = m
+	}
+	trials := RandomTrials(seed, n)
+	byName := make(map[string]model.Info)
+	for _, info := range model.All() {
+		byName[info.Name] = info
+	}
+	byTrial := make(map[string]Trial)
+	for _, trial := range trials {
+		byTrial[trial.Name] = trial
+	}
+	runner := NewRunner(0)
+	for _, res := range runner.RunAll(trials) {
+		t.Logf("%s", res)
+		if !res.Pass() {
+			reportFailure(t, byName[res.Model], byTrial[res.Trial], res, res.Granular == "bytes")
+		}
+	}
+}

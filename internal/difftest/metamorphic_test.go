@@ -1,0 +1,154 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"krr/internal/model"
+	"krr/internal/mrc"
+	"krr/internal/trace"
+	"krr/internal/workload"
+)
+
+// metamorphicTrace is a deletion-free mixed workload small enough to
+// run every model several times per property.
+func metamorphicTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	g := workload.NewZipf(77, 1000, 0.9, nil, 0)
+	tr, err := trace.Collect(g, 12_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := workload.NewLoop(400, nil)
+	loop, err := trace.Collect(lg, 4_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Reqs = append(tr.Reqs, loop.Reqs...)
+	return tr
+}
+
+func metamorphicTrial(name string, tr *trace.Trace, seed uint64) Trial {
+	return Trial{Name: name, Trace: tr, K: 5, Seed: seed, Points: DefaultPoints}
+}
+
+// curvesIdentical requires bit-identical curves, not curves within a
+// tolerance: metamorphic pairs run the same deterministic computation
+// twice, so any drift is a real dependency on what was varied.
+func curvesIdentical(a, b *mrc.Curve) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Sizes {
+		if a.Sizes[i] != b.Sizes[i] || a.Miss[i] != b.Miss[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMetamorphicSeedIndependence: every model except the randomized
+// K-LRU family must produce bit-identical curves under different
+// seeds — olken's and nsp's treap heap priorities, for example, may
+// reshuffle tree shapes but never distances. A violation means
+// randomness leaked into a technique documented as deterministic.
+func TestMetamorphicSeedIndependence(t *testing.T) {
+	tr := metamorphicTrace(t)
+	for _, info := range model.All() {
+		if strings.HasPrefix(info.Name, "krr") {
+			continue // randomized eviction sampling is seeded by design
+		}
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			a, err := BuildCurve(info.Name, metamorphicTrial("seed-a", tr, 1), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := BuildCurve(info.Name, metamorphicTrial("seed-b", tr, 987654321), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !curvesIdentical(a, b) {
+				t.Errorf("curve depends on Options.Seed")
+			}
+		})
+	}
+}
+
+// relabel applies a bijective key renaming (odd multiplier mod 2^64
+// plus offset) that preserves the access pattern exactly.
+func relabel(tr *trace.Trace) *trace.Trace {
+	out := &trace.Trace{Reqs: make([]trace.Request, len(tr.Reqs))}
+	for i, req := range tr.Reqs {
+		req.Key = req.Key*2654435761 + 12345
+		out.Reqs[i] = req
+	}
+	return out
+}
+
+// TestMetamorphicRelabelInvariance: techniques that never hash key
+// *values* into their estimates must produce bit-identical curves on
+// a bijectively renamed trace. Hash-sampling techniques (shards*,
+// counterstacks' HLL sketches) are exempt: their sample sets are
+// functions of the key bits by design.
+func TestMetamorphicRelabelInvariance(t *testing.T) {
+	hashed := map[string]bool{"shards": true, "shards-fixedsize": true, "counterstacks": true}
+	tr := metamorphicTrace(t)
+	renamed := relabel(tr)
+	for _, info := range model.All() {
+		if hashed[info.Name] {
+			continue
+		}
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			a, err := BuildCurve(info.Name, metamorphicTrial("orig", tr, 42), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := BuildCurve(info.Name, metamorphicTrial("renamed", renamed, 42), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !curvesIdentical(a, b) {
+				t.Errorf("curve depends on key values, not just the access pattern")
+			}
+		})
+	}
+}
+
+// TestMetamorphicPrefixMissCounts: one-pass models are causal — a
+// reference's recorded distance depends only on the history before
+// it — so the absolute miss count at any capacity can only grow as
+// the trace extends. Checked on the exact models, where the property
+// holds with no estimation slack.
+func TestMetamorphicPrefixMissCounts(t *testing.T) {
+	exact := []string{"olken", "lfu", "mru", "krr", "krr-topdown", "krr-linear"}
+	tr := metamorphicTrace(t)
+	prefix := &trace.Trace{Reqs: tr.Reqs[:tr.Len()/2]}
+	sizes, err := evalSizes(metamorphicTrial("prefix", prefix, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range exact {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			full, err := BuildCurve(name, metamorphicTrial("full", tr, 7), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			part, err := BuildCurve(name, metamorphicTrial("prefix", prefix, 7), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nFull, nPart := float64(tr.Len()), float64(prefix.Len())
+			for _, c := range sizes {
+				mf := full.Eval(c) * nFull
+				mp := part.Eval(c) * nPart
+				if mf < mp-nFull*1e-9 {
+					t.Errorf("capacity %d: %.2f misses on the full trace < %.2f on its prefix",
+						c, mf, mp)
+				}
+			}
+		})
+	}
+}

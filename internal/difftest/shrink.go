@@ -1,0 +1,133 @@
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"krr/internal/trace"
+)
+
+// maxShrinkEvals bounds the number of predicate evaluations one
+// Shrink call may spend. Differential predicates re-run full
+// reference simulations, so an unbounded ddmin tail (one evaluation
+// per request at the finest granularity) can dwarf the sweep itself;
+// hitting the budget returns the best reduction found so far, which
+// is still a valid failing trace.
+const maxShrinkEvals = 500
+
+// Shrink minimizes a failing trace with delta debugging: repeatedly
+// try removing chunks (halves, then quarters, ...) and keep any
+// reduced trace on which fails still returns true. The returned trace
+// is 1-minimal at the final granularity — removing any single tried
+// chunk makes the failure disappear — unless the evaluation budget
+// runs out first. fails must be deterministic; randomized checks
+// should fix their seeds before shrinking.
+func Shrink(tr *trace.Trace, fails func(*trace.Trace) bool) *trace.Trace {
+	evals := 0
+	budget := func(c *trace.Trace) bool {
+		if evals >= maxShrinkEvals {
+			return false
+		}
+		evals++
+		return fails(c)
+	}
+	cur := tr.Reqs
+	chunks := 2
+	for len(cur) > 1 && evals < maxShrinkEvals {
+		size := (len(cur) + chunks - 1) / chunks
+		reduced := false
+		for start := 0; start < len(cur); start += size {
+			end := start + size
+			if end > len(cur) {
+				end = len(cur)
+			}
+			// Candidate: cur with [start, end) removed.
+			cand := make([]trace.Request, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if len(cand) == 0 {
+				continue
+			}
+			if budget(&trace.Trace{Reqs: cand}) {
+				cur = cand
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			chunks = 2
+			continue
+		}
+		if size <= 1 {
+			break
+		}
+		chunks *= 2
+		if chunks > len(cur) {
+			chunks = len(cur)
+		}
+	}
+	return &trace.Trace{Reqs: cur}
+}
+
+// CorpusDir is the package-relative directory shrunk failing traces
+// are written to; TestCorpusRegressions replays every file in it.
+const CorpusDir = "corpus"
+
+// corpusName sanitizes a check label into a corpus file name.
+func corpusName(label string) string {
+	r := strings.NewReplacer("/", "-", " ", "-", ":", "-", "=", "-")
+	return r.Replace(label) + ".krt"
+}
+
+// WriteCorpus shrinks a failing trace and stores it as a replayable
+// binary trace under dir, returning the file path. Shrinking uses the
+// supplied predicate; pass nil to store the trace unshrunk.
+func WriteCorpus(dir, label string, tr *trace.Trace, fails func(*trace.Trace) bool) (string, error) {
+	if fails != nil {
+		tr = Shrink(tr, fails)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, corpusName(label))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := trace.WriteBinary(f, tr); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadCorpus reads every corpus trace under dir, keyed by file name.
+// A missing directory is an empty corpus, not an error.
+func LoadCorpus(dir string) (map[string]*trace.Trace, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*trace.Trace)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".krt") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		tr, err := trace.ReadBinary(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("difftest: corpus %s: %w", e.Name(), err)
+		}
+		out[e.Name()] = tr
+	}
+	return out, nil
+}

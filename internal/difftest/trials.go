@@ -1,0 +1,96 @@
+package difftest
+
+import (
+	"fmt"
+
+	"krr/internal/trace"
+	"krr/internal/workload"
+)
+
+// DefaultPoints is the number of evaluation cache sizes per trial —
+// the paper's §5.5 choice.
+const DefaultPoints = 25
+
+// NewTrial materializes a trial from any reader, for user-supplied
+// traces (the krrmrc -selftest path).
+func NewTrial(name string, r trace.Reader, n, k int, seed uint64) (Trial, error) {
+	tr, err := trace.Collect(r, n)
+	if err != nil {
+		return Trial{}, err
+	}
+	if tr.Len() == 0 {
+		return Trial{}, fmt.Errorf("difftest: trial %q has no requests", name)
+	}
+	return Trial{Name: name, Trace: tr, K: k, Seed: seed, Points: DefaultPoints}, nil
+}
+
+// mustTrial collects n requests from a generator that cannot fail.
+func mustTrial(name string, r trace.Reader, n, k int, seed uint64, bytes bool) Trial {
+	t, err := NewTrial(name, r, n, k, seed)
+	if err != nil {
+		panic("difftest: " + err.Error())
+	}
+	t.Bytes = bytes
+	return t
+}
+
+// FastTrials is the deterministic trial set behind the tier-1 tests
+// and the check.sh difftest-fast stage: four access-pattern families
+// the techniques are known to disagree on (skewed, cyclic,
+// phase-mixed, memoryless) plus one variable-size trial for the byte
+// paths. Sizes are chosen so the whole differential sweep — reference
+// simulations included — stays well under the 30-second budget.
+func FastTrials() []Trial {
+	return []Trial{
+		mustTrial("zipf",
+			workload.NewZipf(101, 2500, 0.9, nil, 0.05), 30_000, 5, 1001, false),
+		mustTrial("loop",
+			workload.NewLoop(1200, nil), 15_000, 5, 1002, false),
+		mustTrial("msr",
+			workload.NewMSRLike(103, workload.MSRParams{
+				Blocks: 3000, HotWeight: 0.4, SeqWeight: 0.35, LoopWeight: 0.25,
+				HotFraction: 0.1, HotAlpha: 1.0, SeqRunMean: 96,
+				LoopLen: 900, LoopRepeats: 3,
+			}), 30_000, 5, 1003, false),
+		mustTrial("uniform",
+			workload.NewUniform(104, 1500, nil), 20_000, 5, 1004, false),
+		mustTrial("zipf-var",
+			workload.NewZipf(105, 1200, 1.0,
+				workload.LogNormalSize{Mu: 5.44, Sigma: 1.0, Min: 16, Max: 1 << 16, Salt: 7}, 0),
+			20_000, 5, 1005, true),
+	}
+}
+
+// RandomTrials generates n randomized trials per invocation seed for
+// the long (-tags difftest) sweep: each draws a workload family, key
+// space and length from the seed, so repeated sweeps explore fresh
+// traces while any single failure is reproducible from its seed (and
+// is shrunk into corpus/ regardless).
+func RandomTrials(seed uint64, n int) []Trial {
+	trials := make([]Trial, 0, n)
+	for i := 0; i < n; i++ {
+		s := seed + uint64(i)*7919
+		keys := 500 + (s*2654435761)%4000
+		reqs := int(10_000 + (s*40503)%40_000)
+		k := 3 + int(s%6)
+		name := fmt.Sprintf("rand-%d", s)
+		var r trace.Reader
+		switch s % 4 {
+		case 0:
+			alpha := 0.6 + float64(s%8)/10
+			r = workload.NewZipf(s, keys, alpha, nil, 0.05)
+		case 1:
+			r = workload.NewLoop(keys, nil)
+		case 2:
+			r = workload.NewMSRLike(s, workload.MSRParams{
+				Blocks: keys, HotWeight: 0.4, SeqWeight: 0.3, LoopWeight: 0.3,
+				HotFraction: 0.1, HotAlpha: 1.0,
+				LoopLen: keys / 4, LoopRepeats: 2,
+			})
+		default:
+			r = workload.NewUniform(s, keys, nil)
+		}
+		trials = append(trials, mustTrial(name, r, reqs, k, s, false))
+	}
+	return trials
+}

@@ -19,6 +19,10 @@ type Histogram interface {
 	// Add records one reference with the given finite stack distance
 	// (distance >= 1; 0 is treated as 1).
 	Add(distance uint64)
+	// AddN records count references at one finite stack distance in
+	// O(1) — the bulk form of Add for correction terms (SHARDS_adj
+	// shortfall credits) and histogram merges.
+	AddN(distance, count uint64)
 	// AddCold records one first-touch reference (infinite distance).
 	AddCold()
 	// Total returns the number of recorded references.
@@ -55,6 +59,21 @@ func (h *Dense) Add(distance uint64) {
 	}
 	h.counts[distance]++
 	h.total++
+}
+
+// AddN records count references at one finite distance.
+func (h *Dense) AddN(distance, count uint64) {
+	if count == 0 {
+		return
+	}
+	if distance == 0 {
+		distance = 1
+	}
+	for uint64(len(h.counts)) <= distance {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[distance] += count
+	h.total += count
 }
 
 // AddCold records one cold miss.
@@ -174,6 +193,22 @@ func (h *Log) Add(distance uint64) {
 	}
 	h.counts[idx]++
 	h.total++
+}
+
+// AddN records count references at one finite distance.
+func (h *Log) AddN(distance, count uint64) {
+	if count == 0 {
+		return
+	}
+	if distance == 0 {
+		distance = 1
+	}
+	idx := logIndex(distance)
+	for len(h.counts) <= idx {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[idx] += count
+	h.total += count
 }
 
 // AddCold records one cold miss.

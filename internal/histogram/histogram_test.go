@@ -289,3 +289,79 @@ func TestMergeEmpty(t *testing.T) {
 	m.Merge(l)
 	sameHist(t, "empty-dst-log", m, l)
 }
+
+func TestAddNMatchesRepeatedAdd(t *testing.T) {
+	loop, bulk := NewDense(8), NewDense(8)
+	for _, d := range []uint64{1, 5, 0, 300} {
+		for i := 0; i < 1000; i++ {
+			loop.Add(d)
+		}
+		bulk.AddN(d, 1000)
+	}
+	if loop.Total() != bulk.Total() {
+		t.Fatalf("totals differ: %d vs %d", loop.Total(), bulk.Total())
+	}
+	type bucket struct{ d, c uint64 }
+	collect := func(h Histogram) []bucket {
+		var out []bucket
+		h.Buckets(func(d, c uint64) { out = append(out, bucket{d, c}) })
+		return out
+	}
+	a, b := collect(loop), collect(bulk)
+	if len(a) != len(b) {
+		t.Fatalf("bucket counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("bucket %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAddNLogMatchesRepeatedAdd(t *testing.T) {
+	loop, bulk := NewLog(), NewLog()
+	for _, d := range []uint64{1, 63, 64, 100000, 1 << 40} {
+		for i := 0; i < 137; i++ {
+			loop.Add(d)
+		}
+		bulk.AddN(d, 137)
+	}
+	if loop.Total() != bulk.Total() {
+		t.Fatalf("totals differ: %d vs %d", loop.Total(), bulk.Total())
+	}
+	match := true
+	i := 0
+	loop.Buckets(func(d, c uint64) {
+		found := false
+		j := 0
+		bulk.Buckets(func(bd, bc uint64) {
+			if j == i && (bd != d || bc != c) {
+				match = false
+			}
+			if j == i {
+				found = true
+			}
+			j++
+		})
+		if !found {
+			match = false
+		}
+		i++
+	})
+	if !match {
+		t.Fatal("log buckets differ between Add loop and AddN")
+	}
+}
+
+func TestAddNZeroCountIsNoop(t *testing.T) {
+	d := NewDense(4)
+	d.AddN(7, 0)
+	if d.Total() != 0 {
+		t.Fatal("AddN with count 0 must record nothing")
+	}
+	l := NewLog()
+	l.AddN(7, 0)
+	if l.Total() != 0 {
+		t.Fatal("AddN with count 0 must record nothing")
+	}
+}

@@ -277,6 +277,20 @@ func newNSP(policy nsp.Policy) func(Options) (Model, error) {
 	}
 }
 
+// newMRU uses the exact O(1) transposition stack: the generic
+// priority-sorted engine is not Mattson's stack for MRU (see nsp
+// package docs), a divergence the difftest harness measures at up to
+// ~0.43 MAE against exact simulation on loop traces.
+func newMRU(o Options) (Model, error) {
+	filter, scale := extFilter(o)
+	s := nsp.NewMRU()
+	return &streamModel{
+		filter:   filter,
+		process:  s.Process,
+		objCurve: func() *mrc.Curve { return mrc.FromHistogram(s.Hist(), scale) },
+	}, nil
+}
+
 // --- Registry --------------------------------------------------------
 
 func init() {
@@ -384,10 +398,10 @@ func init() {
 	Register(Info{
 		Name:       "mru",
 		Target:     "mru",
-		Paper:      "Bilardi, Ekanadham & Pattnaik, CF '11 (NSP)",
-		Complexity: "O(log M)/ref",
-		Space:      "O(M) treap + maps",
+		Paper:      "Mattson et al. '70 transposition stack",
+		Complexity: "O(1)/ref",
+		Space:      "O(M) position array + map",
 		Caps:       0,
-		New:        newNSP(nsp.MRU{}),
+		New:        newMRU,
 	})
 }

@@ -41,9 +41,17 @@ type Curve struct {
 	Interp Interp
 }
 
+// FromPointsTolerance is the float-error budget FromPoints forgives:
+// miss ratios within this distance outside [0, 1] are clamped to the
+// nearest bound rather than rejected. Models that rescale histogram
+// weights (sampling-rate corrections, sharded merges) can accumulate
+// one-ulp drift like 1.0000000001, which is noise, not a bug.
+const FromPointsTolerance = 1e-9
+
 // FromPoints builds a curve from parallel slices, sorting by size and
-// dropping duplicate sizes (keeping the last). It panics on length
-// mismatch or an out-of-range miss ratio.
+// dropping duplicate sizes (keeping the last). Miss ratios within
+// FromPointsTolerance outside [0, 1] are clamped; it panics on length
+// mismatch or a genuinely out-of-range miss ratio.
 func FromPoints(sizes []uint64, miss []float64) *Curve {
 	if len(sizes) != len(miss) {
 		panic("mrc: FromPoints length mismatch")
@@ -54,10 +62,17 @@ func FromPoints(sizes []uint64, miss []float64) *Curve {
 	}
 	pts := make([]pt, len(sizes))
 	for i := range sizes {
-		if miss[i] < 0 || miss[i] > 1 {
-			panic(fmt.Sprintf("mrc: miss ratio %v out of [0,1]", miss[i]))
+		m := miss[i]
+		switch {
+		case m >= 0 && m <= 1:
+		case m < 0 && m >= -FromPointsTolerance:
+			m = 0
+		case m > 1 && m <= 1+FromPointsTolerance:
+			m = 1
+		default:
+			panic(fmt.Sprintf("mrc: miss ratio %v out of [0,1]", m))
 		}
-		pts[i] = pt{sizes[i], miss[i]}
+		pts[i] = pt{sizes[i], m}
 	}
 	sort.SliceStable(pts, func(i, j int) bool { return pts[i].s < pts[j].s })
 	c := &Curve{}
@@ -132,7 +147,14 @@ func (c *Curve) Eval(size uint64) float64 {
 	if n == 0 {
 		return 1
 	}
-	if size <= c.Sizes[0] {
+	if size < c.Sizes[0] {
+		// Strictly before the first breakpoint: a cache smaller than
+		// any observed size misses everything. (Only reachable when
+		// Sizes[0] > 0, i.e. curves built by FromPoints; histogram
+		// curves always start at size 0.)
+		return 1
+	}
+	if size == c.Sizes[0] {
 		return c.Miss[0]
 	}
 	if size >= c.Sizes[n-1] {
@@ -271,10 +293,15 @@ func (c *Curve) WriteCSV(w io.Writer) error {
 }
 
 // Downsample returns a curve with at most n breakpoints, preserving
-// the first and last, for compact plotting.
+// the first and last, for compact plotting. n == 1 keeps only the
+// last breakpoint (the working-set-size / cold-miss point).
 func (c *Curve) Downsample(n int) *Curve {
 	if n <= 0 || c.Len() <= n {
 		return c
+	}
+	if n == 1 {
+		last := c.Len() - 1
+		return &Curve{Sizes: []uint64{c.Sizes[last]}, Miss: []float64{c.Miss[last]}, Interp: c.Interp}
 	}
 	out := &Curve{Sizes: make([]uint64, 0, n), Miss: make([]float64, 0, n), Interp: c.Interp}
 	last := c.Len() - 1

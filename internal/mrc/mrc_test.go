@@ -62,8 +62,57 @@ func TestEvalEmptyAndBeforeFirst(t *testing.T) {
 		t.Fatal("empty curve must evaluate to 1")
 	}
 	c := FromPoints([]uint64{100}, []float64{0.4})
-	if c.Eval(5) != 0.4 {
-		t.Fatal("before-first must clamp to first value")
+	if c.Eval(5) != 1 {
+		t.Fatalf("Eval(5) = %v: sizes before the first breakpoint must miss everything", c.Eval(5))
+	}
+	if c.Eval(100) != 0.4 {
+		t.Fatalf("Eval at the first breakpoint = %v, want 0.4", c.Eval(100))
+	}
+}
+
+// TestEvalBeforeFirstBreakpoint is the regression test for the
+// boundary bug where size < Sizes[0] (with Sizes[0] > 0) returned
+// Miss[0] instead of the documented all-miss ratio of 1, flattering
+// FromPoints-built simulator curves at small cache sizes.
+func TestEvalBeforeFirstBreakpoint(t *testing.T) {
+	for _, interp := range []Interp{InterpLinear, InterpStep} {
+		c := FromPoints([]uint64{100, 200, 300}, []float64{0.5, 0.3, 0.1})
+		c.Interp = interp
+		for _, size := range []uint64{0, 1, 50, 99} {
+			if got := c.Eval(size); got != 1 {
+				t.Fatalf("interp %d: Eval(%d) = %v, want 1", interp, size, got)
+			}
+		}
+		if got := c.Eval(100); got != 0.5 {
+			t.Fatalf("interp %d: Eval(100) = %v, want 0.5 (first breakpoint inclusive)", interp, got)
+		}
+		if got := c.Eval(300); got != 0.1 {
+			t.Fatalf("interp %d: Eval(300) = %v, want 0.1", interp, got)
+		}
+	}
+	// A first breakpoint at size 0 keeps its own value: there is no
+	// "before" a zero-size cache.
+	z := FromPoints([]uint64{0, 10}, []float64{1, 0.2})
+	if z.Eval(0) != 1 {
+		t.Fatal("Eval(0) with a size-0 breakpoint must return its value")
+	}
+}
+
+func TestFromPointsClampsFloatJitter(t *testing.T) {
+	c := FromPoints([]uint64{1, 2}, []float64{1 + 1e-10, -1e-10})
+	if c.Miss[0] != 1 || c.Miss[1] != 0 {
+		t.Fatalf("jitter not clamped: %v", c.Miss)
+	}
+	for _, bad := range []float64{1 + 1e-8, -1e-8} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("miss ratio %v beyond tolerance must panic", bad)
+				}
+			}()
+			FromPoints([]uint64{1}, []float64{bad})
+		}()
 	}
 }
 
@@ -278,5 +327,73 @@ func TestDownsample(t *testing.T) {
 	}
 	if got := c.Downsample(200); got != c {
 		t.Fatal("downsample below breakpoint count must be identity")
+	}
+}
+
+func TestDownsampleEdgeCases(t *testing.T) {
+	sizes := make([]uint64, 50)
+	miss := make([]float64, 50)
+	for i := range sizes {
+		sizes[i] = uint64(i + 1)
+		miss[i] = 1 - float64(i)/50
+	}
+	c := FromPoints(sizes, miss)
+
+	// n == 1 keeps only the last breakpoint (used to divide by zero).
+	d := c.Downsample(1)
+	if d.Len() != 1 || d.Sizes[0] != 50 || d.Miss[0] != c.Miss[49] {
+		t.Fatalf("Downsample(1) = %v/%v", d.Sizes, d.Miss)
+	}
+	if d.Interp != c.Interp {
+		t.Fatal("Downsample(1) must preserve interpolation mode")
+	}
+
+	// n == 2 keeps both endpoints.
+	d2 := c.Downsample(2)
+	if d2.Len() != 2 || d2.Sizes[0] != 1 || d2.Sizes[1] != 50 {
+		t.Fatalf("Downsample(2) sizes = %v", d2.Sizes)
+	}
+
+	// Curve shorter than n is the identity (same object).
+	short := FromPoints([]uint64{1, 2}, []float64{0.5, 0.1})
+	if short.Downsample(5) != short {
+		t.Fatal("short curve must be returned unchanged")
+	}
+	// n <= 0 is the identity too.
+	if c.Downsample(0) != c || c.Downsample(-3) != c {
+		t.Fatal("non-positive n must be the identity")
+	}
+
+	// Duplicate collapsed indexes: many breakpoints squeezed into few
+	// slots must stay strictly increasing.
+	d3 := c.Downsample(7)
+	for i := 1; i < d3.Len(); i++ {
+		if d3.Sizes[i] <= d3.Sizes[i-1] {
+			t.Fatalf("downsampled sizes not strictly increasing: %v", d3.Sizes)
+		}
+	}
+}
+
+func TestEvenSizesEdgeCases(t *testing.T) {
+	// n == 1 yields exactly the WSS point.
+	if got := EvenSizes(1000, 1); len(got) != 1 || got[0] != 1000 {
+		t.Fatalf("EvenSizes(1000, 1) = %v", got)
+	}
+	// wss == 1 collapses every slot onto size 1.
+	if got := EvenSizes(1, 25); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("EvenSizes(1, 25) = %v", got)
+	}
+	// n > wss dedups to exactly wss strictly-increasing sizes.
+	got := EvenSizes(5, 40)
+	if len(got) != 5 {
+		t.Fatalf("EvenSizes(5, 40) = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("sizes not strictly increasing: %v", got)
+		}
+	}
+	if got[len(got)-1] != 5 {
+		t.Fatalf("last size %d, want wss", got[len(got)-1])
 	}
 }

@@ -2,13 +2,23 @@
 // class of replacement policies (Bilardi, Ekanadham & Pattnaik, CF
 // '11 — §6.2): policies where an object's priority changes only upon
 // access to that object. LFU (with perfect history), MRU and OPT are
-// NSP; Mattson's update rule then keeps the stack sorted: the
-// just-referenced object sits on top and every other object is
-// ordered by its priority. A reference's stack distance is therefore
-// an order-statistic query — answered here in O(log M) with a
-// priority-keyed treap, the same asymptotics Min-Tree achieves.
+// NSP.
 //
-// The package provides the generic engine plus two concrete policies:
+// Stack is the generic priority-ordered engine: the just-referenced
+// object sits on top and every other object is ordered by its
+// priority, making a reference's stack distance an order-statistic
+// query — answered here in O(log M) with a priority-keyed treap, the
+// same asymptotics Min-Tree achieves. This ordering coincides with
+// Mattson's stack when evicted objects cannot outrank residents —
+// which holds for ascending policies like LFU, whose priorities only
+// grow with further accesses, but NOT for MRU, where the referenced
+// object takes the globally lowest priority and long-evicted objects
+// keep frozen recency priorities above current residents. Use
+// MRUStack (mru.go) for exact MRU distances; Stack with the MRU
+// policy survives only as the priority tuple the exact simulator
+// shares.
+//
+// Concrete policies:
 //
 //   - LFU: priority = (access count, last access), modeling the
 //     frequency-based sampled eviction the paper names as future work

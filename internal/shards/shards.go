@@ -87,9 +87,7 @@ func (s *FixedRate) MRC() *mrc.Curve {
 		if expected > actual {
 			// Credit the shortfall to distance 1: under-sampling means
 			// short-distance references were missed.
-			for i := actual; i < expected; i++ {
-				hist.Add(1)
-			}
+			hist.AddN(1, expected-actual)
 		}
 	}
 	return mrc.FromHistogram(hist, 1/s.filter.Rate())

@@ -161,3 +161,40 @@ func BenchmarkFixedRateProcess(b *testing.B) {
 		s.Process(reqs[i&(1<<16-1)])
 	}
 }
+
+// TestFixedRateAdjustBulkMatchesLoop pins the SHARDS_adj shortfall
+// credit to its original per-reference form: adding the shortfall in
+// one AddN call must produce exactly the curve the old
+// Add(1)-in-a-loop code did.
+func TestFixedRateAdjustBulkMatchesLoop(t *testing.T) {
+	tr := zipfTrace(9, 20000, 100000)
+
+	adj := NewFixedRate(0.05, 2, true)
+	if err := adj.ProcessAll(tr.Reader()); err != nil {
+		t.Fatal(err)
+	}
+	got := adj.MRC()
+
+	// Reference: identical run without the adjustment, then apply the
+	// pre-AddN loop by hand.
+	plain := NewFixedRate(0.05, 2, false)
+	if err := plain.ProcessAll(tr.Reader()); err != nil {
+		t.Fatal(err)
+	}
+	hist := plain.prof.ObjHist()
+	expected := uint64(float64(plain.seen)*plain.filter.Rate() + 0.5)
+	for i := hist.Total(); i < expected; i++ {
+		hist.Add(1)
+	}
+	want := mrc.FromHistogram(hist, 1/plain.filter.Rate())
+
+	if len(got.Sizes) != len(want.Sizes) {
+		t.Fatalf("breakpoint counts differ: %d vs %d", len(got.Sizes), len(want.Sizes))
+	}
+	for i := range got.Sizes {
+		if got.Sizes[i] != want.Sizes[i] || got.Miss[i] != want.Miss[i] {
+			t.Fatalf("curves differ at %d: (%d, %v) vs (%d, %v)",
+				i, got.Sizes[i], got.Miss[i], want.Sizes[i], want.Miss[i])
+		}
+	}
+}

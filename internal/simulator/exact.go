@@ -1,0 +1,166 @@
+package simulator
+
+import (
+	"container/heap"
+
+	"krr/internal/mrc"
+	"krr/internal/nsp"
+	"krr/internal/trace"
+)
+
+// ExactPriority is an exact priority-eviction cache: on a miss with a
+// full cache it evicts the resident object with the globally lowest
+// priority tuple. Priorities follow nsp.Policy semantics — recomputed
+// on every access, with access counts surviving eviction (perfect
+// history) — so a sweep of ExactPriority simulations is the ground
+// truth the NSP one-pass stack models (LFU, MRU) are checked against,
+// exactly as the LRU/K-LRU sweeps serve the stack models.
+//
+// Eviction uses a lazy min-heap: every access pushes the object's
+// fresh priority and stale heap entries are discarded on pop, giving
+// O(log n) amortized eviction without decrease-key support.
+type ExactPriority struct {
+	cap    Capacity
+	pol    nsp.Policy
+	clock  uint64
+	used   uint64
+	prio   map[uint64][2]uint64 // resident key -> current priority
+	sizes  map[uint64]uint32    // resident key -> size
+	counts map[uint64]uint64    // all-time access counts (survive eviction)
+	h      epHeap
+}
+
+// epEntry is one (possibly stale) heap record.
+type epEntry struct {
+	prio [2]uint64
+	key  uint64
+}
+
+// epHeap is a min-heap over priority tuples.
+type epHeap []epEntry
+
+func (h epHeap) Len() int { return len(h) }
+func (h epHeap) Less(i, j int) bool {
+	if h[i].prio[0] != h[j].prio[0] {
+		return h[i].prio[0] < h[j].prio[0]
+	}
+	return h[i].prio[1] < h[j].prio[1]
+}
+func (h epHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *epHeap) Push(x any)   { *h = append(*h, x.(epEntry)) }
+func (h *epHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewExactPriority builds the cache for one NSP policy.
+func NewExactPriority(capacity Capacity, pol nsp.Policy) *ExactPriority {
+	capacity.validate()
+	return &ExactPriority{
+		cap:    capacity,
+		pol:    pol,
+		prio:   make(map[uint64][2]uint64),
+		sizes:  make(map[uint64]uint32),
+		counts: make(map[uint64]uint64),
+	}
+}
+
+// Len returns the number of resident objects.
+func (c *ExactPriority) Len() int { return len(c.prio) }
+
+// UsedBytes returns the resident byte total.
+func (c *ExactPriority) UsedBytes() uint64 { return c.used }
+
+// Contains reports residency.
+func (c *ExactPriority) Contains(key uint64) bool {
+	_, ok := c.prio[key]
+	return ok
+}
+
+// Access processes one request.
+func (c *ExactPriority) Access(req trace.Request) bool {
+	c.clock++
+	if req.Op == trace.OpDelete {
+		c.remove(req.Key)
+		return false
+	}
+	c.counts[req.Key]++
+	p := c.pol.Priority(c.counts[req.Key], c.clock)
+	if _, ok := c.prio[req.Key]; ok {
+		c.prio[req.Key] = p
+		heap.Push(&c.h, epEntry{prio: p, key: req.Key})
+		if c.sizes[req.Key] != req.Size {
+			c.used += uint64(req.Size) - uint64(c.sizes[req.Key])
+			c.sizes[req.Key] = req.Size
+			c.evictToFit(0, req.Key)
+		}
+		return true
+	}
+	if c.cap.Bytes > 0 && uint64(req.Size) > c.cap.Bytes {
+		return false
+	}
+	c.prio[req.Key] = p
+	c.sizes[req.Key] = req.Size
+	c.used += uint64(req.Size)
+	heap.Push(&c.h, epEntry{prio: p, key: req.Key})
+	c.evictToFit(0, req.Key)
+	return false
+}
+
+// evictToFit evicts minimum-priority residents until the cache fits
+// its capacity again; keep (the just-accessed object) is never
+// evicted.
+func (c *ExactPriority) evictToFit(incoming uint64, keep uint64) {
+	fits := func() bool {
+		if c.cap.Objects > 0 {
+			return uint64(len(c.prio))+boolToUint(incoming > 0) <= uint64(c.cap.Objects)
+		}
+		return c.used+incoming <= c.cap.Bytes
+	}
+	var deferred []epEntry
+	for len(c.prio) > 1 && !fits() && c.h.Len() > 0 {
+		e := heap.Pop(&c.h).(epEntry)
+		cur, resident := c.prio[e.key]
+		if !resident || cur != e.prio {
+			continue // stale heap record
+		}
+		if e.key == keep {
+			// Still the current priority — must survive for future
+			// evictions; re-push after this round.
+			deferred = append(deferred, e)
+			continue
+		}
+		c.remove(e.key)
+	}
+	for _, e := range deferred {
+		heap.Push(&c.h, e)
+	}
+}
+
+func boolToUint(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (c *ExactPriority) remove(key uint64) {
+	if _, ok := c.prio[key]; !ok {
+		return
+	}
+	c.used -= uint64(c.sizes[key])
+	delete(c.prio, key)
+	delete(c.sizes, key)
+}
+
+// PriorityMRC simulates the trace at each object capacity with an
+// ExactPriority cache and returns the interpolated curve — the ground
+// truth for the NSP models.
+func PriorityMRC(tr *trace.Trace, pol nsp.Policy, sizes []uint64, workers int) (*mrc.Curve, error) {
+	return MRC(tr, sizes, workers, func(capacity uint64) Cache {
+		return NewExactPriority(ObjectCapacity(int(capacity)), pol)
+	})
+}

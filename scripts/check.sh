@@ -27,6 +27,9 @@ go vet ./...
 echo "== go build"
 go build ./...
 
+echo "== difftest-fast (differential harness, deterministic trials)"
+go test -count=1 -run 'TestDifferential|TestCorpus|TestMetamorphic' ./internal/difftest/
+
 if [ "${1:-}" = "fast" ]; then
 	echo "== go test (no race)"
 	go test ./...
