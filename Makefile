@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fast test bench bench-smoke results difftest fuzz-short
+.PHONY: check fast test bench bench-smoke results difftest fuzz-short serve-smoke
 
 check: ## vet + build + race tests + bench smoke
 	./scripts/check.sh
@@ -18,6 +18,9 @@ bench: ## full table/figure benchmark sweep
 
 bench-smoke: ## compile-and-run sanity pass over the Table 5.3 benches
 	$(GO) test -run=NONE -bench=Table5_3 -benchtime=100x .
+
+serve-smoke: ## end-to-end krrserve test: build, ingest, scrape, SIGTERM
+	$(GO) test -count=1 -run TestServeSmoke -v ./cmd/krrserve/
 
 results: ## regenerate the paper tables/figures under results/
 	$(GO) run ./cmd/experiments -run all -out results

@@ -1,0 +1,376 @@
+// krrserve is the online-monitoring daemon: a KRR (or any registered
+// MRC model) shadow profiler behind an HTTP API. Production traffic is
+// mirrored into it — NDJSON or the binary trace format over POST — and
+// operators read live miss-ratio curves from non-finalizing snapshots
+// while the stream keeps flowing, the deployment mode the source paper
+// motivates for K-LRU caches like Redis.
+//
+// Endpoints:
+//
+//	POST /ingest       NDJSON requests, one object per line:
+//	                   {"key": 7, "size": 200, "op": "get"}
+//	                   ("key" may be a string, hashed to 64 bits; size
+//	                   and op are optional). With Content-Type
+//	                   application/octet-stream the body is the binary
+//	                   trace format (KRT1) instead.
+//	GET  /mrc?size=N   miss ratio at one cache size, from a live
+//	                   snapshot; &unit=bytes evaluates the byte curve.
+//	GET  /curve        the full object curve as JSON; ?points=N
+//	                   downsamples, &unit=bytes selects the byte curve.
+//	GET  /stats        stream counters and uptime.
+//	GET  /metrics      Prometheus text exposition.
+//	GET  /debug/vars   expvar JSON (same metrics).
+//	     /debug/pprof  the standard profiling handlers.
+//	GET  /healthz      liveness probe.
+//
+// On SIGTERM/SIGINT the server stops accepting requests, finalizes the
+// model, and writes the final curve as JSON to -final (or stdout).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"krr/internal/hashing"
+	"krr/internal/model"
+	"krr/internal/mrc"
+	"krr/internal/telemetry"
+	"krr/internal/trace"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8701", "listen address")
+		name    = flag.String("model", "krr", "registered model name (see internal/model)")
+		k       = flag.Int("k", 0, "K-LRU sampling size (0 = model default)")
+		seed    = flag.Uint64("seed", 1, "model seed")
+		rate    = flag.Float64("rate", 0, "spatial sampling rate in (0,1); 0 = off")
+		workers = flag.Int("workers", 1, "shard workers (>1 requires a CapSharded model)")
+		bytes   = flag.String("bytes", "off", "byte mode: off|on|uniform|sizearray|fenwick")
+		final   = flag.String("final", "", "write the final curve JSON here on shutdown (default stdout)")
+	)
+	flag.Parse()
+
+	mode, ok := model.ByteModeByName(*bytes)
+	if !ok {
+		log.Fatalf("krrserve: unknown byte mode %q", *bytes)
+	}
+	srv, err := newServer(*name, model.Options{
+		K: *k, Seed: *seed, SamplingRate: *rate, Bytes: mode, Workers: *workers,
+	})
+	if err != nil {
+		log.Fatalf("krrserve: %v", err)
+	}
+	// Mirror the whole metric set into /debug/vars. Done here, not in
+	// newServer: expvar names are process-global and panic on reuse,
+	// and tests build many servers per process.
+	srv.set.Publish("krrserve")
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("krrserve: model=%s listening on %s", *name, *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("krrserve: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting traffic, then flush the final
+	// curve — the whole point of a monitoring run is its last reading.
+	log.Printf("krrserve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("krrserve: shutdown: %v", err)
+	}
+	if err := srv.writeFinal(*final); err != nil {
+		log.Fatalf("krrserve: final curve: %v", err)
+	}
+	log.Printf("krrserve: final curve flushed")
+}
+
+// server owns one model instance behind a mutex. Serial models are not
+// concurrency-safe, and even model.Sharded's internal serialization
+// would interleave concurrent ingest bodies request-by-request; one
+// lock keeps each ingest batch atomic and snapshots consistent.
+type server struct {
+	mu      sync.Mutex
+	model   model.Model
+	start   time.Time
+	final   bool
+	byteful bool
+
+	set        *telemetry.Set
+	ingests    telemetry.Counter
+	ingestErrs telemetry.Counter
+	snapshots  telemetry.Counter
+}
+
+func newServer(name string, opts model.Options) (*server, error) {
+	m, err := model.New(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &server{
+		model:   m,
+		start:   time.Now(),
+		byteful: opts.Bytes != model.BytesOff,
+		set:     telemetry.NewSet(),
+	}
+	s.set.CounterFunc("krrserve_ingest_requests_total", "trace requests accepted over HTTP", s.ingests.Load)
+	s.set.CounterFunc("krrserve_ingest_errors_total", "ingest bodies rejected", s.ingestErrs.Load)
+	s.set.CounterFunc("krrserve_snapshots_total", "live curve snapshots served", s.snapshots.Load)
+	s.set.GaugeFunc("krrserve_uptime_seconds", "seconds since process start", func() float64 {
+		return time.Since(s.start).Seconds()
+	})
+	if ms, ok := m.(model.MetricSource); ok {
+		ms.MetricsInto(s.set, "krr_model_")
+	}
+	return s, nil
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/mrc", s.handleMRC)
+	mux.HandleFunc("/curve", s.handleCurve)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// ndjsonReq is one ingest line. Key accepts either a JSON number (used
+// verbatim) or a string (hashed to 64 bits), matching how real cache
+// traces mix numeric block addresses and string object keys.
+type ndjsonReq struct {
+	Key  json.RawMessage `json:"key"`
+	Size uint32          `json:"size"`
+	Op   string          `json:"op"`
+}
+
+func (n ndjsonReq) request() (trace.Request, error) {
+	req := trace.Request{Size: n.Size}
+	if req.Size == 0 {
+		req.Size = trace.DefaultObjectSize
+	}
+	switch n.Op {
+	case "", "get":
+		req.Op = trace.OpGet
+	case "set":
+		req.Op = trace.OpSet
+	case "delete":
+		req.Op = trace.OpDelete
+	default:
+		return req, fmt.Errorf("unknown op %q", n.Op)
+	}
+	if len(n.Key) == 0 {
+		return req, errors.New("missing key")
+	}
+	var num uint64
+	if err := json.Unmarshal(n.Key, &num); err == nil {
+		req.Key = num
+		return req, nil
+	}
+	var str string
+	if err := json.Unmarshal(n.Key, &str); err == nil {
+		req.Key = hashing.String(str)
+		return req, nil
+	}
+	return req, fmt.Errorf("key %s is neither integer nor string", n.Key)
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var reader trace.Reader
+	if r.Header.Get("Content-Type") == "application/octet-stream" {
+		br, err := trace.NewBinaryReader(r.Body)
+		if err != nil {
+			s.ingestErrs.Inc()
+			http.Error(w, fmt.Sprintf("bad binary trace: %v", err), http.StatusBadRequest)
+			return
+		}
+		reader = br
+	} else {
+		dec := json.NewDecoder(r.Body)
+		line := 0
+		reader = trace.FuncReader(func() (trace.Request, error) {
+			line++
+			var n ndjsonReq
+			if err := dec.Decode(&n); err != nil {
+				if errors.Is(err, io.EOF) {
+					return trace.Request{}, io.EOF
+				}
+				return trace.Request{}, fmt.Errorf("line %d: %w", line, err)
+			}
+			req, err := n.request()
+			if err != nil {
+				return trace.Request{}, fmt.Errorf("line %d: %w", line, err)
+			}
+			return req, nil
+		})
+	}
+
+	s.mu.Lock()
+	if s.final {
+		s.mu.Unlock()
+		http.Error(w, "model is finalized", http.StatusConflict)
+		return
+	}
+	var count uint64
+	var err error
+	for {
+		var req trace.Request
+		req, err = reader.Next()
+		if err != nil {
+			break
+		}
+		if perr := s.model.Process(req); perr != nil {
+			err = perr
+			break
+		}
+		count++
+	}
+	s.mu.Unlock()
+	s.ingests.Add(count)
+	if !errors.Is(err, io.EOF) {
+		s.ingestErrs.Inc()
+		http.Error(w, fmt.Sprintf("ingest stopped after %d requests: %v", count, err),
+			http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"ingested\": %d}\n", count)
+}
+
+// snapshot takes a consistent live snapshot under the server lock.
+func (s *server) snapshot() model.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snapshots.Inc()
+	return s.model.Snapshot()
+}
+
+// curveFrom picks the requested granularity out of a snapshot.
+func (s *server) curveFrom(snap model.Snapshot, r *http.Request) (*mrc.Curve, error) {
+	switch unit := r.URL.Query().Get("unit"); unit {
+	case "", "objects":
+		return snap.Object, nil
+	case "bytes":
+		if snap.Byte == nil {
+			return nil, errors.New("model was built without a byte mode (-bytes off)")
+		}
+		return snap.Byte, nil
+	default:
+		return nil, fmt.Errorf("unknown unit %q (want objects or bytes)", unit)
+	}
+}
+
+func (s *server) handleMRC(w http.ResponseWriter, r *http.Request) {
+	sizeStr := r.URL.Query().Get("size")
+	size, err := strconv.ParseUint(sizeStr, 10, 64)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad size %q: %v", sizeStr, err), http.StatusBadRequest)
+		return
+	}
+	snap := s.snapshot()
+	c, err := s.curveFrom(snap, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"size\": %d, \"miss_ratio\": %g, \"requests\": %d}\n",
+		size, c.Eval(size), snap.Stats.Seen)
+}
+
+func (s *server) handleCurve(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot()
+	c, err := s.curveFrom(snap, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if pts := r.URL.Query().Get("points"); pts != "" {
+		n, err := strconv.Atoi(pts)
+		if err != nil || n < 2 {
+			http.Error(w, fmt.Sprintf("bad points %q", pts), http.StatusBadRequest)
+			return
+		}
+		c = c.Downsample(n)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := c.WriteJSON(w); err != nil {
+		log.Printf("krrserve: curve write: %v", err)
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := s.model.Stats()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"seen":           st.Seen,
+		"sampled":        st.Sampled,
+		"finalized":      st.Finalized,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.set.WritePrometheus(w); err != nil {
+		log.Printf("krrserve: metrics write: %v", err)
+	}
+}
+
+// writeFinal finalizes the model and writes the finished curve JSON to
+// path ("" or "-" = stdout). By the snapshot contract this equals the
+// last snapshot bit-for-bit if no requests arrived in between.
+func (s *server) writeFinal(path string) error {
+	s.mu.Lock()
+	s.final = true
+	c := s.model.ObjectMRC()
+	s.mu.Unlock()
+	out := os.Stdout
+	if path != "" && path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return c.WriteJSON(out)
+}

@@ -1,0 +1,284 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"krr/internal/model"
+	"krr/internal/mrc"
+	"krr/internal/trace"
+	"krr/internal/workload"
+)
+
+func testServer(t *testing.T, opts model.Options) (*server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer("krr", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, url, contentType, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func get(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestIngestNDJSONAndMRC(t *testing.T) {
+	_, ts := testServer(t, model.Options{K: 4, Seed: 1})
+
+	var b strings.Builder
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&b, "{\"key\": %d}\n", i%97)
+	}
+	b.WriteString("{\"key\": \"user:42\", \"size\": 512, \"op\": \"set\"}\n")
+	resp := post(t, ts.URL+"/ingest", "application/x-ndjson", b.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	var ing struct {
+		Ingested int `json:"ingested"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Ingested != 2001 {
+		t.Fatalf("ingested %d, want 2001", ing.Ingested)
+	}
+
+	resp = get(t, ts.URL+"/mrc?size=50")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/mrc status %d", resp.StatusCode)
+	}
+	var point struct {
+		Size      uint64  `json:"size"`
+		MissRatio float64 `json:"miss_ratio"`
+		Requests  uint64  `json:"requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&point); err != nil {
+		t.Fatal(err)
+	}
+	if point.Requests != 2001 {
+		t.Fatalf("requests %d, want 2001", point.Requests)
+	}
+	if point.MissRatio < 0 || point.MissRatio > 1 {
+		t.Fatalf("miss ratio %v out of range", point.MissRatio)
+	}
+
+	// Snapshots must not finalize: a second ingest still succeeds.
+	resp = post(t, ts.URL+"/ingest", "application/x-ndjson", "{\"key\": 1}\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-snapshot ingest status %d", resp.StatusCode)
+	}
+}
+
+func TestIngestBinary(t *testing.T) {
+	_, ts := testServer(t, model.Options{K: 4, Seed: 1})
+
+	gen := workload.NewZipf(3, 500, 0.9, workload.FixedSize(trace.DefaultObjectSize), 0.1)
+	tr, err := trace.Collect(gen, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	resp := post(t, ts.URL+"/ingest", "application/octet-stream", buf.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary ingest status %d", resp.StatusCode)
+	}
+
+	resp = get(t, ts.URL+"/curve?points=16")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/curve status %d", resp.StatusCode)
+	}
+	c, err := mrc.ReadJSON(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() < 2 || c.Eval(0) != 1 {
+		t.Fatalf("malformed live curve: %d points", c.Len())
+	}
+}
+
+func TestIngestRejectsGarbage(t *testing.T) {
+	s, ts := testServer(t, model.Options{K: 4, Seed: 1})
+	for _, body := range []string{
+		"{\"key\": 1}\nnot json\n",
+		"{\"size\": 8}\n",                   // missing key
+		"{\"key\": 1, \"op\": \"frobn\"}\n", // unknown op
+	} {
+		resp := post(t, ts.URL+"/ingest", "application/x-ndjson", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp := post(t, ts.URL+"/ingest", "application/octet-stream", "XXXXnot a trace")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad magic: status %d, want 400", resp.StatusCode)
+	}
+	if s.ingestErrs.Load() != 4 {
+		t.Fatalf("ingest error counter = %d, want 4", s.ingestErrs.Load())
+	}
+}
+
+func TestByteUnitWithoutByteMode(t *testing.T) {
+	_, ts := testServer(t, model.Options{K: 4, Seed: 1}) // bytes off
+	post(t, ts.URL+"/ingest", "application/x-ndjson", "{\"key\": 1}\n")
+	resp := get(t, ts.URL+"/mrc?size=100&unit=bytes")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("byte query on bytes-off model: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestByteUnitCurve(t *testing.T) {
+	_, ts := testServer(t, model.Options{K: 4, Seed: 1, Bytes: model.BytesOn})
+	var b strings.Builder
+	for i := 0; i < 3000; i++ {
+		fmt.Fprintf(&b, "{\"key\": %d, \"size\": %d}\n", i%200, 100+(i%7)*300)
+	}
+	post(t, ts.URL+"/ingest", "application/x-ndjson", b.String())
+	resp := get(t, ts.URL+"/curve?unit=bytes")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/curve unit=bytes status %d", resp.StatusCode)
+	}
+	c, err := mrc.ReadJSON(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() < 2 {
+		t.Fatalf("degenerate byte curve: %d points", c.Len())
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, ts := testServer(t, model.Options{K: 4, Seed: 1})
+	post(t, ts.URL+"/ingest", "application/x-ndjson", "{\"key\": 1}\n{\"key\": 2}\n")
+	resp := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	for _, want := range []string{
+		"krrserve_ingest_requests_total 2",
+		"krr_model_requests_seen_total 2",
+		"krr_model_stack_len",
+		"# TYPE krrserve_uptime_seconds gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestShardedServer(t *testing.T) {
+	_, ts := testServer(t, model.Options{K: 4, Seed: 1, Workers: 3})
+	var b strings.Builder
+	for i := 0; i < 4000; i++ {
+		fmt.Fprintf(&b, "{\"key\": %d}\n", i%300)
+	}
+	post(t, ts.URL+"/ingest", "application/x-ndjson", b.String())
+	resp := get(t, ts.URL+"/curve")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/curve status %d", resp.StatusCode)
+	}
+	c, err := mrc.ReadJSON(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() < 2 {
+		t.Fatal("degenerate sharded live curve")
+	}
+	resp = get(t, ts.URL+"/metrics")
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "krr_model_pipe_batches_total") {
+		t.Fatal("/metrics missing shard pipe telemetry")
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	_, ts := testServer(t, model.Options{K: 4, Seed: 1})
+	post(t, ts.URL+"/ingest", "application/x-ndjson", "{\"key\": 9}\n")
+	resp := get(t, ts.URL+"/stats")
+	var st struct {
+		Seen      uint64 `json:"seen"`
+		Finalized bool   `json:"finalized"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Seen != 1 || st.Finalized {
+		t.Fatalf("stats = %+v", st)
+	}
+	if resp := get(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestFinalCurveMatchesLastSnapshot(t *testing.T) {
+	s, ts := testServer(t, model.Options{K: 4, Seed: 1})
+	var b strings.Builder
+	for i := 0; i < 2500; i++ {
+		fmt.Fprintf(&b, "{\"key\": %d}\n", i%150)
+	}
+	post(t, ts.URL+"/ingest", "application/x-ndjson", b.String())
+
+	resp := get(t, ts.URL+"/curve")
+	live, err := mrc.ReadJSON(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	s.mu.Lock()
+	s.final = true
+	finalCurve := s.model.ObjectMRC()
+	s.mu.Unlock()
+	if err := finalCurve.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := mrc.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Len() != fin.Len() {
+		t.Fatalf("live curve %d points, final %d", live.Len(), fin.Len())
+	}
+	for i := range fin.Sizes {
+		if live.Sizes[i] != fin.Sizes[i] || live.Miss[i] != fin.Miss[i] {
+			t.Fatalf("live and final curves diverge at point %d", i)
+		}
+	}
+
+	// Ingest after finalization is refused, not crashed.
+	resp = post(t, ts.URL+"/ingest", "application/x-ndjson", "{\"key\": 1}\n")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("post-final ingest status %d, want 409", resp.StatusCode)
+	}
+}

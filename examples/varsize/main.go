@@ -44,7 +44,11 @@ func main() {
 		if err := p.ProcessAll(tr.Reader()); err != nil {
 			log.Fatal(err)
 		}
-		return p.ByteMRC()
+		c, err := p.ByteMRC()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c
 	}
 	uni := build(krr.BytesUniform)
 	vark := build(krr.BytesSizeArray)

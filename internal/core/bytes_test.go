@@ -136,7 +136,15 @@ func TestSizeArrayMatchesFenwickStatistically(t *testing.T) {
 	}
 	wss := exact.Stack().TotalBytes()
 	sizes := mrc.EvenSizes(wss, 25)
-	if mae := mrc.MAE(approx.ByteMRC(), exact.ByteMRC(), sizes); mae > 0.02 {
+	ac, err := approx.ByteMRC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := exact.ByteMRC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae := mrc.MAE(ac, ec, sizes); mae > 0.02 {
 		t.Fatalf("sizeArray vs fenwick byte MRC MAE %v", mae)
 	}
 }
@@ -192,7 +200,10 @@ func TestVarKRRPredictsByteKLRU(t *testing.T) {
 	if err := p.ProcessAll(tr.Reader()); err != nil {
 		t.Fatal(err)
 	}
-	model := p.ByteMRC()
+	model, err := p.ByteMRC()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	wss := p.Stack().TotalBytes()
 	sizes := mrc.EvenSizes(wss, 8)

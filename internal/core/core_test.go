@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -390,14 +391,23 @@ func TestConfigValidation(t *testing.T) {
 	MustProfiler(Config{K: 0})
 }
 
-func TestByteMRCPanicsWhenOff(t *testing.T) {
+func TestByteMRCErrsWhenOff(t *testing.T) {
 	p := MustProfiler(Config{K: 2, Seed: 1})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	p.ByteMRC()
+	c, err := p.ByteMRC()
+	if !errors.Is(err, ErrBytesOff) {
+		t.Fatalf("ByteMRC error = %v, want ErrBytesOff", err)
+	}
+	if c != nil {
+		t.Fatal("ByteMRC must return a nil curve with ErrBytesOff")
+	}
+	sp, err := NewShardedProfiler(Config{K: 2, Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	if _, err := sp.ByteMRC(); !errors.Is(err, ErrBytesOff) {
+		t.Fatalf("sharded ByteMRC error = %v, want ErrBytesOff", err)
+	}
 }
 
 func TestProfilerDeleteOp(t *testing.T) {

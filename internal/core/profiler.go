@@ -8,8 +8,14 @@ import (
 	"krr/internal/histogram"
 	"krr/internal/mrc"
 	"krr/internal/sampling"
+	"krr/internal/telemetry"
 	"krr/internal/trace"
 )
+
+// ErrBytesOff reports a byte-granularity curve request on a profiler
+// built with BytesOff. Long-running servers route mis-addressed byte
+// queries into this sentinel instead of a crash.
+var ErrBytesOff = errors.New("core: byte-granularity distances disabled (built with BytesOff)")
 
 // ByteMode selects how byte-granularity distances are produced.
 type ByteMode uint8
@@ -101,8 +107,8 @@ type Profiler struct {
 	objHist  *histogram.Dense
 	byteHist *histogram.Log
 
-	seen    uint64 // pre-filter request count
-	sampled uint64
+	seen    telemetry.Counter // pre-filter request count
+	sampled telemetry.Counter
 }
 
 // NewProfiler builds a profiler from cfg.
@@ -148,18 +154,28 @@ func (p *Profiler) Config() Config { return p.cfg }
 func (p *Profiler) Stack() *Stack { return p.stack }
 
 // Seen returns the number of requests offered (before sampling).
-func (p *Profiler) Seen() uint64 { return p.seen }
+func (p *Profiler) Seen() uint64 { return p.seen.Load() }
 
 // Sampled returns the number of requests admitted by the filter.
-func (p *Profiler) Sampled() uint64 { return p.sampled }
+func (p *Profiler) Sampled() uint64 { return p.sampled.Load() }
+
+// MetricsInto registers the profiler's live telemetry under prefix:
+// stream counters plus the underlying stack's update metrics. All
+// values are atomically readable while Process runs on another
+// goroutine.
+func (p *Profiler) MetricsInto(set *telemetry.Set, prefix string) {
+	set.CounterFunc(prefix+"requests_seen_total", "requests offered (before spatial sampling)", p.seen.Load)
+	set.CounterFunc(prefix+"requests_sampled_total", "requests admitted past spatial sampling", p.sampled.Load)
+	p.stack.MetricsInto(set, prefix)
+}
 
 // Process feeds one request.
 func (p *Profiler) Process(req trace.Request) {
-	p.seen++
+	p.seen.Inc()
 	if p.filter != nil && !p.filter.Sampled(req.Key) {
 		return
 	}
-	p.sampled++
+	p.sampled.Inc()
 	if req.Op == trace.OpDelete {
 		p.stack.Delete(req.Key)
 		return
@@ -212,13 +228,14 @@ func (p *Profiler) ObjectMRC() *mrc.Curve {
 	return mrc.FromHistogram(p.objHist, p.scale())
 }
 
-// ByteMRC returns the modeled curve over byte cache sizes. It panics
-// if the profiler was built with BytesOff.
-func (p *Profiler) ByteMRC() *mrc.Curve {
+// ByteMRC returns the modeled curve over byte cache sizes, or
+// ErrBytesOff if the profiler was built with BytesOff. (It used to
+// panic; a monitoring daemon must survive a mis-routed byte query.)
+func (p *Profiler) ByteMRC() (*mrc.Curve, error) {
 	if p.byteHist == nil {
-		panic("core: ByteMRC on a BytesOff profiler")
+		return nil, ErrBytesOff
 	}
-	return mrc.FromHistogram(p.byteHist, p.scale())
+	return mrc.FromHistogram(p.byteHist, p.scale()), nil
 }
 
 // ObjHist exposes the object histogram.

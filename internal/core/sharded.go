@@ -8,6 +8,7 @@ import (
 	"krr/internal/mrc"
 	"krr/internal/sampling"
 	"krr/internal/shardpipe"
+	"krr/internal/telemetry"
 	"krr/internal/trace"
 )
 
@@ -42,8 +43,8 @@ type ShardedProfiler struct {
 	shards []*Profiler
 	pipe   *shardpipe.Pipe
 
-	seen    uint64
-	sampled uint64
+	seen    telemetry.Counter
+	sampled telemetry.Counter
 }
 
 // NewShardedProfiler builds a W-way sharded profiler from cfg
@@ -87,18 +88,49 @@ func NewShardedProfiler(cfg Config) (*ShardedProfiler, error) {
 func (sp *ShardedProfiler) Workers() int { return len(sp.shards) }
 
 // Seen returns the number of requests offered (before sampling).
-func (sp *ShardedProfiler) Seen() uint64 { return sp.seen }
+func (sp *ShardedProfiler) Seen() uint64 { return sp.seen.Load() }
 
 // Sampled returns the number of requests admitted by the filter.
-func (sp *ShardedProfiler) Sampled() uint64 { return sp.sampled }
+func (sp *ShardedProfiler) Sampled() uint64 { return sp.sampled.Load() }
+
+// MetricsInto registers pipeline-wide telemetry under prefix: router
+// counters, the shardpipe's batch/queue/throughput metrics, and
+// cross-shard aggregates of the per-stack update counters. All reads
+// are atomic and safe while the pipeline is streaming.
+func (sp *ShardedProfiler) MetricsInto(set *telemetry.Set, prefix string) {
+	set.CounterFunc(prefix+"requests_seen_total", "requests offered to the router", sp.seen.Load)
+	set.CounterFunc(prefix+"requests_sampled_total", "requests admitted past spatial sampling", sp.sampled.Load)
+	sp.pipe.MetricsInto(set, prefix+"pipe_")
+	set.GaugeFunc(prefix+"stack_len", "objects resident across all shard stacks", func() float64 {
+		var total int64
+		for _, p := range sp.shards {
+			total += p.stack.resident.Load()
+		}
+		return float64(total)
+	})
+	set.CounterFunc(prefix+"swap_steps_total", "interior swap positions applied across shards", func() uint64 {
+		var total uint64
+		for _, p := range sp.shards {
+			total += p.stack.SwapSteps()
+		}
+		return total
+	})
+	set.CounterFunc(prefix+"updates_total", "stack updates performed across shards", func() uint64 {
+		var total uint64
+		for _, p := range sp.shards {
+			total += p.stack.Updates()
+		}
+		return total
+	})
+}
 
 // Process routes one request to its shard. Single producer only.
 func (sp *ShardedProfiler) Process(req trace.Request) {
-	sp.seen++
+	sp.seen.Inc()
 	if sp.filter != nil && !sp.filter.Sampled(req.Key) {
 		return
 	}
-	sp.sampled++
+	sp.sampled.Inc()
 	sp.pipe.Send(sp.pipe.ShardOf(req.Key), req)
 }
 
@@ -153,14 +185,17 @@ func (sp *ShardedProfiler) ObjectMRC() *mrc.Curve {
 }
 
 // ByteMRC closes the pipeline and returns the merged byte-granularity
-// curve. It panics if the profiler was built with BytesOff.
-func (sp *ShardedProfiler) ByteMRC() *mrc.Curve {
+// curve, or ErrBytesOff if the profiler was built with BytesOff.
+func (sp *ShardedProfiler) ByteMRC() (*mrc.Curve, error) {
+	if sp.cfg.Bytes == BytesOff {
+		return nil, ErrBytesOff
+	}
 	sp.Close()
 	merged := histogram.NewLog()
 	for _, p := range sp.shards {
 		merged.Merge(p.ByteHist())
 	}
-	return mrc.FromHistogram(merged, sp.scale())
+	return mrc.FromHistogram(merged, sp.scale()), nil
 }
 
 // Shard exposes shard i's profiler for inspection (stats, stack

@@ -112,7 +112,10 @@ func TestShardedBytesMRC(t *testing.T) {
 	if err := sp.ProcessAll(tr.Reader()); err != nil {
 		t.Fatal(err)
 	}
-	c := sp.ByteMRC()
+	c, err := sp.ByteMRC()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.Len() < 2 {
 		t.Fatalf("degenerate byte curve: %d points", c.Len())
 	}

@@ -196,5 +196,36 @@ func (s *Stack) MRC() *mrc.Curve {
 	return mrc.FromHistogram(s.hist, 1)
 }
 
+// SnapshotHist returns the stack-distance histogram the model would
+// hold if the stream ended now, without committing the current partial
+// batch: the batch is evaluated on a deep copy of the counters and
+// histogram, leaving the live state untouched so Process may continue.
+// At end-of-stream (after Flush, or with pending == 0) it returns the
+// live histogram itself, so a snapshot curve is bit-identical to MRC.
+func (s *Stack) SnapshotHist() *histogram.Log {
+	if s.pending == 0 {
+		return s.hist
+	}
+	clone := &Stack{
+		cfg:      s.cfg,
+		counters: make([]*counter, len(s.counters)),
+		hist:     s.hist.Clone(),
+		pending:  s.pending,
+		seen:     s.seen,
+	}
+	for i, c := range s.counters {
+		cc := *c // hll registers are a value array: this is a deep copy
+		clone.counters[i] = &cc
+	}
+	clone.finishBatch()
+	return clone.hist
+}
+
+// SnapshotMRC returns the curve the model would produce if the stream
+// ended now (see SnapshotHist).
+func (s *Stack) SnapshotMRC() *mrc.Curve {
+	return mrc.FromHistogram(s.SnapshotHist(), 1)
+}
+
 // Hist exposes the stack-distance histogram.
 func (s *Stack) Hist() *histogram.Log { return s.hist }

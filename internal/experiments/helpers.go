@@ -98,7 +98,11 @@ func krrByteCurve(tr *trace.Trace, cfg core.Config) (*mrc.Curve, time.Duration, 
 		return nil, 0, err
 	}
 	elapsed := time.Since(start)
-	return p.ByteMRC(), elapsed, nil
+	bc, err := p.ByteMRC()
+	if err != nil {
+		return nil, 0, err
+	}
+	return bc, elapsed, nil
 }
 
 // simKLRU returns the ground-truth K-LRU curve via per-size

@@ -115,6 +115,15 @@ func (h *Dense) Buckets(fn func(distance, count uint64)) {
 	}
 }
 
+// Clone returns an independent deep copy — the basis for
+// non-destructive snapshot reads, where a correction or flush is
+// applied to the copy while the live histogram keeps accumulating.
+func (h *Dense) Clone() *Dense {
+	out := &Dense{cold: h.cold, total: h.total}
+	out.counts = append(out.counts, h.counts...)
+	return out
+}
+
 // Merge folds other into h.
 func (h *Dense) Merge(other *Dense) {
 	other.Buckets(func(d, c uint64) {
@@ -230,6 +239,13 @@ func (h *Log) Buckets(fn func(distance, count uint64)) {
 			fn(logRepresentative(idx), c)
 		}
 	}
+}
+
+// Clone returns an independent deep copy.
+func (h *Log) Clone() *Log {
+	out := &Log{cold: h.cold, total: h.total}
+	out.counts = append(out.counts, h.counts...)
+	return out
 }
 
 // Merge folds other into h.

@@ -12,6 +12,7 @@ import (
 	"krr/internal/olken"
 	"krr/internal/sampling"
 	"krr/internal/shards"
+	"krr/internal/telemetry"
 	"krr/internal/trace"
 )
 
@@ -34,13 +35,24 @@ type streamModel struct {
 	flush     func() // optional; runs once at finalization
 	objCurve  func() *mrc.Curve
 	byteCurve func() *mrc.Curve // nil = byte curves off or unsupported
+	// snapObj overrides the object curve for non-finalizing snapshots.
+	// Required for models whose flush commits buffered state (Counter
+	// Stacks); every other technique's objCurve is already
+	// non-destructive and doubles as the snapshot read.
+	snapObj func() *mrc.Curve
+	// metrics, when non-nil, registers the technique's internal live
+	// telemetry (stack gauges, update counters) alongside the adapter's
+	// stream counters in MetricsInto.
+	metrics func(*telemetry.Set, string)
 
 	// Mergeable histograms for CapSharded models; nil otherwise.
 	objDense *histogram.Dense
 	byteLog  *histogram.Log
 
-	seen    uint64
-	sampled uint64
+	// Stream counters are atomics so MetricsInto consumers (a /metrics
+	// scrape) may read them while another goroutine drives Process.
+	seen    telemetry.Counter
+	sampled telemetry.Counter
 }
 
 // Process implements Model.
@@ -48,14 +60,14 @@ func (m *streamModel) Process(req trace.Request) error {
 	if err := m.guard(); err != nil {
 		return err
 	}
-	m.seen++
+	m.seen.Inc()
 	if m.filter != nil {
 		if !m.filter.Sampled(req.Key) {
 			return nil
 		}
-		m.sampled++
+		m.sampled.Inc()
 	} else if m.admit == nil || m.admit(req.Key) {
-		m.sampled++
+		m.sampled.Inc()
 	}
 	m.process(req)
 	return nil
@@ -84,9 +96,38 @@ func (m *streamModel) ByteMRC() *mrc.Curve {
 	return m.byteCurve()
 }
 
+// Snapshot implements Model: the curve of the stream so far, read
+// without flushing or freezing. Buffered state (a partial Counter
+// Stacks batch) is evaluated through snapObj on copies; every other
+// curve constructor is non-destructive, so the finalized read path and
+// the snapshot path run the identical computation — which is what
+// makes an end-of-stream snapshot bit-identical to the final curves.
+func (m *streamModel) Snapshot() Snapshot {
+	snap := Snapshot{Stats: m.Stats()}
+	if m.snapObj != nil && !m.finalized {
+		snap.Object = m.snapObj()
+	} else {
+		snap.Object = m.objCurve()
+	}
+	if m.byteCurve != nil {
+		snap.Byte = m.byteCurve()
+	}
+	return snap
+}
+
 // Stats implements Model.
 func (m *streamModel) Stats() Stats {
-	return Stats{Seen: m.seen, Sampled: m.sampled, Finalized: m.finalized}
+	return Stats{Seen: m.seen.Load(), Sampled: m.sampled.Load(), Finalized: m.finalized}
+}
+
+// MetricsInto implements MetricSource: the adapter's stream counters
+// plus any technique-internal metrics under the same prefix.
+func (m *streamModel) MetricsInto(set *telemetry.Set, prefix string) {
+	set.CounterFunc(prefix+"requests_seen_total", "requests offered via Process", m.seen.Load)
+	set.CounterFunc(prefix+"requests_sampled_total", "requests admitted past sampling", m.sampled.Load)
+	if m.metrics != nil {
+		m.metrics(set, prefix)
+	}
 }
 
 func (m *streamModel) objHist() *histogram.Dense { return m.objDense }
@@ -137,6 +178,7 @@ func newKRR(method core.UpdateMethod) func(Options) (Model, error) {
 			process:  p.Process,
 			objCurve: func() *mrc.Curve { return mrc.FromHistogram(p.ObjHist(), scale) },
 			objDense: p.ObjHist(),
+			metrics:  p.Stack().MetricsInto,
 		}
 		if o.Bytes != BytesOff {
 			m.byteCurve = func() *mrc.Curve { return mrc.FromHistogram(p.ByteHist(), scale) }
@@ -247,6 +289,7 @@ func newCounterStacks(o Options) (Model, error) {
 		process:  cs.Process,
 		flush:    cs.Flush,
 		objCurve: func() *mrc.Curve { return mrc.FromHistogram(cs.Hist(), scale) },
+		snapObj:  func() *mrc.Curve { return mrc.FromHistogram(cs.SnapshotHist(), scale) },
 	}, nil
 }
 

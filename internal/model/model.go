@@ -14,8 +14,15 @@
 // Process (or the ProcessAll helper), and finalized by the first call
 // to ObjectMRC or ByteMRC. Finalization flushes any buffered state
 // (partial Counter Stacks batches, in-flight sharded pipelines);
-// afterwards Process returns ErrFinalized — curves are snapshots of a
-// completed stream, never of a moving one.
+// afterwards Process returns ErrFinalized.
+//
+// For online monitoring — the shadow-profiler deployment the source
+// paper motivates — Snapshot reads the curve of the stream so far
+// WITHOUT finalizing: buffered state is evaluated on copies (or
+// behind a momentary pipeline quiesce for sharded models), the live
+// state is untouched, and Process stays legal afterwards. A snapshot
+// taken at end-of-stream is bit-identical to the finalized curve; the
+// conformance suite pins this for every registry entry.
 //
 // # Seeding convention
 //
@@ -39,6 +46,7 @@ import (
 	"strings"
 
 	"krr/internal/mrc"
+	"krr/internal/telemetry"
 	"krr/internal/trace"
 )
 
@@ -210,11 +218,24 @@ type Stats struct {
 	Finalized bool
 }
 
+// Snapshot is a point-in-time curve read: the curves the model would
+// emit if the stream ended at the moment it was taken, plus the stream
+// counters at that moment.
+type Snapshot struct {
+	// Object is the curve over object-count cache sizes.
+	Object *mrc.Curve
+	// Byte is the curve over byte cache sizes; nil without a byte mode.
+	Byte *mrc.Curve
+	// Stats are the stream counters when the snapshot was taken.
+	Stats Stats
+}
+
 // Model is a streaming MRC constructor: feed it a request stream,
 // then read the curve.
 //
-// Models are not safe for concurrent use; shard the stream (see
-// Sharded) or serialize Process calls externally.
+// Serial models are not safe for concurrent use; shard the stream
+// (see Sharded, whose Snapshot and Process are internally serialized)
+// or serialize calls externally.
 type Model interface {
 	// Process feeds one request. It returns ErrFinalized after a curve
 	// accessor has been called.
@@ -226,8 +247,22 @@ type Model interface {
 	// cache sizes, or nil when the model was not built with a byte
 	// mode (or lacks CapBytes).
 	ByteMRC() *mrc.Curve
+	// Snapshot returns the curves of the stream so far without
+	// finalizing: Process stays legal afterwards, and a snapshot taken
+	// at end-of-stream is bit-identical to the finalized curves.
+	Snapshot() Snapshot
 	// Stats reports stream counters.
 	Stats() Stats
+}
+
+// MetricSource is implemented by models that expose live internal
+// telemetry. Every registry-built model and the Sharded wrapper
+// implement it; a monitoring daemon registers the model's counters
+// into its exposition set once at startup and scrapes are then
+// atomic reads, safe while Process streams on another goroutine.
+type MetricSource interface {
+	// MetricsInto registers the model's metrics under prefix.
+	MetricsInto(set *telemetry.Set, prefix string)
 }
 
 // ProcessAll drains a reader into m, using the trace.BatchReader fast

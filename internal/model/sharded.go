@@ -2,11 +2,13 @@ package model
 
 import (
 	"fmt"
+	"sync"
 
 	"krr/internal/histogram"
 	"krr/internal/mrc"
 	"krr/internal/sampling"
 	"krr/internal/shardpipe"
+	"krr/internal/telemetry"
 	"krr/internal/trace"
 )
 
@@ -31,17 +33,26 @@ type histSource interface {
 // mixer family than the sampling filter, keeping the two partitions
 // independent.
 //
-// Process is single-producer: call it from one goroutine (the W-way
+// Unlike serial models, Sharded serializes its API internally: a
+// monitoring goroutine may call Snapshot (or Stats) while another
+// drives Process — snapshot reads quiesce the pipeline, merge the
+// worker-owned histograms race-free, and resume the workers. Process
+// itself remains single-producer (one streaming goroutine; the W-way
 // parallelism lives behind the pipe).
 type Sharded struct {
 	finalizer
+	// mu serializes Process, Snapshot and the finalizing accessors so a
+	// monitor thread can snapshot a live stream. The streaming path pays
+	// one uncontended lock per request, noise next to the shard hash and
+	// batch append it guards.
+	mu      sync.Mutex
 	pipe    *shardpipe.Pipe
 	subs    []Model
 	sources []histSource
 	filter  *sampling.Filter
 	bytes   bool
-	seen    uint64
-	sampled uint64
+	seen    telemetry.Counter
+	sampled telemetry.Counter
 }
 
 // NewSharded builds workers instances of the named model — shard i
@@ -97,14 +108,16 @@ func (s *Sharded) Workers() int { return s.pipe.Workers() }
 // Process implements Model. It routes the request to its key's shard;
 // the call returns once the request is enqueued, not processed.
 func (s *Sharded) Process(req trace.Request) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.guard(); err != nil {
 		return err
 	}
-	s.seen++
+	s.seen.Inc()
 	if s.filter != nil && !s.filter.Sampled(req.Key) {
 		return nil
 	}
-	s.sampled++
+	s.sampled.Inc()
 	s.pipe.Send(s.pipe.ShardOf(req.Key), req)
 	return nil
 }
@@ -127,10 +140,10 @@ func (s *Sharded) scale() float64 {
 	return scale
 }
 
-// ObjectMRC implements Model: it drains the pipeline, merges the shard
-// histograms and rescales distances by W/R.
-func (s *Sharded) ObjectMRC() *mrc.Curve {
-	s.drain()
+// mergedObject merges the shard object histograms into one curve. The
+// caller must guarantee the workers are not mutating them: hold mu and
+// be finalized, or be inside a pipe.Quiesce callback.
+func (s *Sharded) mergedObject() *mrc.Curve {
 	merged := histogram.NewDense(1024)
 	for _, src := range s.sources {
 		merged.Merge(src.objHist())
@@ -138,12 +151,9 @@ func (s *Sharded) ObjectMRC() *mrc.Curve {
 	return mrc.FromHistogram(merged, s.scale())
 }
 
-// ByteMRC implements Model; nil unless built with a byte mode.
-func (s *Sharded) ByteMRC() *mrc.Curve {
-	if !s.bytes {
-		return nil
-	}
-	s.drain()
+// mergedByte merges the shard byte histograms; same safety contract as
+// mergedObject.
+func (s *Sharded) mergedByte() *mrc.Curve {
 	merged := histogram.NewLog()
 	for _, src := range s.sources {
 		if h := src.byteHist(); h != nil {
@@ -153,7 +163,71 @@ func (s *Sharded) ByteMRC() *mrc.Curve {
 	return mrc.FromHistogram(merged, s.scale())
 }
 
+// ObjectMRC implements Model: it drains the pipeline, merges the shard
+// histograms and rescales distances by W/R.
+func (s *Sharded) ObjectMRC() *mrc.Curve {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drain()
+	return s.mergedObject()
+}
+
+// ByteMRC implements Model; nil unless built with a byte mode.
+func (s *Sharded) ByteMRC() *mrc.Curve {
+	if !s.bytes {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drain()
+	return s.mergedByte()
+}
+
+// Snapshot implements Model: the merged curve of the stream so far,
+// without closing the pipeline. Mid-stream it quiesces the pipe —
+// partial batches flush, workers park at a barrier, the merge reads
+// the worker-owned histograms race-free, and the workers resume; after
+// finalization it reads the drained histograms directly. Either way
+// the merge is the same computation ObjectMRC performs, so a snapshot
+// at end-of-stream is bit-identical to the finalized curves.
+func (s *Sharded) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := Snapshot{
+		Stats: Stats{Seen: s.seen.Load(), Sampled: s.sampled.Load(), Finalized: s.finalized},
+	}
+	merge := func() {
+		snap.Object = s.mergedObject()
+		if s.bytes {
+			snap.Byte = s.mergedByte()
+		}
+	}
+	if s.finalized {
+		merge()
+	} else {
+		s.pipe.Quiesce(merge)
+	}
+	return snap
+}
+
 // Stats implements Model, reporting router-side counters.
 func (s *Sharded) Stats() Stats {
-	return Stats{Seen: s.seen, Sampled: s.sampled, Finalized: s.finalized}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Seen: s.seen.Load(), Sampled: s.sampled.Load(), Finalized: s.finalized}
+}
+
+// MetricsInto implements MetricSource: router stream counters, the
+// pipe's batch/queue metrics, and each shard sub-model's metrics under
+// a shard<i>_ prefix. All registered values are atomics, safe to
+// scrape while the pipeline streams.
+func (s *Sharded) MetricsInto(set *telemetry.Set, prefix string) {
+	set.CounterFunc(prefix+"requests_seen_total", "requests offered to the router", s.seen.Load)
+	set.CounterFunc(prefix+"requests_sampled_total", "requests admitted past spatial sampling", s.sampled.Load)
+	s.pipe.MetricsInto(set, prefix+"pipe_")
+	for i, sub := range s.subs {
+		if ms, ok := sub.(MetricSource); ok {
+			ms.MetricsInto(set, fmt.Sprintf("%sshard%d_", prefix, i))
+		}
+	}
 }

@@ -11,12 +11,20 @@
 // internal/model's CapSharded) can ride the same plumbing. Extracted
 // from the original KRR ShardedProfiler so the router/batch/drain
 // machinery exists exactly once.
+//
+// For online monitoring the pipe supports Quiesce — a barrier that
+// briefly parks every worker with its queue drained so the caller can
+// read shard-private state mid-stream — and exports per-worker
+// throughput, batch-occupancy and queue-depth telemetry via
+// MetricsInto.
 package shardpipe
 
 import (
+	"fmt"
 	"sync"
 
 	"krr/internal/hashing"
+	"krr/internal/telemetry"
 	"krr/internal/trace"
 )
 
@@ -40,14 +48,29 @@ func ShardSeed(seed uint64, shard int) uint64 {
 }
 
 // Pipe fans one request stream out to W shard workers. The
-// caller-facing API is single-producer: Send must not be called
-// concurrently, and not after Close.
+// caller-facing API is single-producer: Send, Quiesce and Close must
+// all be called from one goroutine (or be externally serialized), and
+// Send must not be called after Close.
 type Pipe struct {
 	chans   []chan []trace.Request
 	pending [][]trace.Request
 	pool    sync.Pool
 	wg      sync.WaitGroup
 	closed  bool
+
+	// paused implements the Quiesce barrier: each worker signals it
+	// after acknowledging a nil sentinel batch, then parks on its own
+	// batch channel until the producer sends a resume token. Keeping
+	// the whole handshake on the per-worker channels (rather than a
+	// shared field) gives every step a channel happens-before edge.
+	paused sync.WaitGroup
+
+	// Telemetry: batch counters are updated once per flushed batch (so
+	// the per-request hot path stays free of atomics on the router
+	// side), consumed counters once per drained batch on each worker.
+	batches   telemetry.Counter
+	batchReqs telemetry.Counter
+	consumed  []telemetry.Counter
 }
 
 // New starts a pipe with workers shard goroutines (workers >= 1).
@@ -59,8 +82,9 @@ func New(workers int, consume func(shard int, req trace.Request)) *Pipe {
 		workers = 1
 	}
 	p := &Pipe{
-		chans:   make([]chan []trace.Request, workers),
-		pending: make([][]trace.Request, workers),
+		chans:    make([]chan []trace.Request, workers),
+		pending:  make([][]trace.Request, workers),
+		consumed: make([]telemetry.Counter, workers),
 	}
 	p.pool.New = func() any { return make([]trace.Request, 0, BatchLen) }
 	for i := 0; i < workers; i++ {
@@ -73,13 +97,24 @@ func New(workers int, consume func(shard int, req trace.Request)) *Pipe {
 }
 
 // run is the per-shard worker loop: drain batches into consume and
-// recycle the buffers.
+// recycle the buffers. A nil batch is the Quiesce sentinel — the
+// worker acknowledges it and parks until the barrier lifts.
 func (p *Pipe) run(i int, consume func(int, trace.Request)) {
 	defer p.wg.Done()
 	for batch := range p.chans[i] {
+		if batch == nil {
+			p.paused.Done()
+			// Park until the barrier lifts: the producer sends exactly
+			// one resume token (another nil) after its callback returns,
+			// and sends nothing else in between — single-producer FIFO
+			// ordering makes the next value on this channel the token.
+			<-p.chans[i]
+			continue
+		}
 		for _, req := range batch {
 			consume(i, req)
 		}
+		p.consumed[i].Add(uint64(len(batch)))
 		p.pool.Put(batch[:0])
 	}
 }
@@ -98,14 +133,64 @@ func (p *Pipe) ShardOf(key uint64) int {
 	return int(hashing.Murmur3Fmix(key) % uint64(len(p.chans)))
 }
 
-// Send routes one request to shard i. Single producer only.
+// Send routes one request to shard i.
+//
+// Contract: single producer only, and never after Close — the pipe's
+// workers have exited and their channels are closed, so there is no
+// goroutine left to consume the request. Violations panic with
+// "shardpipe: Send after Close" rather than surfacing as an opaque
+// send-on-closed-channel runtime error from deep inside the batcher.
 func (p *Pipe) Send(i int, req trace.Request) {
+	if p.closed {
+		panic("shardpipe: Send after Close")
+	}
 	b := append(p.pending[i], req)
 	if len(b) == BatchLen {
-		p.chans[i] <- b
+		p.flush(i, b)
 		b = p.pool.Get().([]trace.Request)
 	}
 	p.pending[i] = b
+}
+
+// flush hands one batch to shard i's worker, recording batch
+// telemetry.
+func (p *Pipe) flush(i int, b []trace.Request) {
+	p.batches.Inc()
+	p.batchReqs.Add(uint64(len(b)))
+	p.chans[i] <- b
+}
+
+// Quiesce flushes the partial pending batches, waits until every
+// worker has drained its queue and parked, runs fn — which may safely
+// read any shard-private state — and then resumes the workers. After
+// Close it simply runs fn (the workers have already drained and
+// exited).
+//
+// Quiesce shares Send's single-producer contract: it must not run
+// concurrently with Send or Close.
+func (p *Pipe) Quiesce(fn func()) {
+	if p.closed {
+		fn()
+		return
+	}
+	for i, b := range p.pending {
+		if len(b) > 0 {
+			p.flush(i, b)
+			p.pending[i] = p.pool.Get().([]trace.Request)
+		}
+	}
+	p.paused.Add(len(p.chans))
+	for i := range p.chans {
+		p.chans[i] <- nil // park sentinel
+	}
+	// Every worker has drained its queue and parked: fn sees shard
+	// state with no writer running (the workers' prior writes are
+	// published through paused.Done/Wait).
+	p.paused.Wait()
+	fn()
+	for i := range p.chans {
+		p.chans[i] <- nil // resume token
+	}
 }
 
 // Close flushes pending batches and waits for every worker to finish.
@@ -117,10 +202,45 @@ func (p *Pipe) Close() {
 	p.closed = true
 	for i, b := range p.pending {
 		if len(b) > 0 {
-			p.chans[i] <- b
+			p.flush(i, b)
 		}
 		p.pending[i] = nil
 		close(p.chans[i])
 	}
 	p.wg.Wait()
+}
+
+// QueueDepth returns the number of batches queued for shard i but not
+// yet picked up by its worker. Safe to call from any goroutine.
+func (p *Pipe) QueueDepth(i int) int { return len(p.chans[i]) }
+
+// Consumed returns the number of requests shard i's worker has fully
+// processed. Safe to call from any goroutine.
+func (p *Pipe) Consumed(i int) uint64 { return p.consumed[i].Load() }
+
+// MetricsInto registers the pipe's telemetry under prefix: flushed
+// batch counts, batch occupancy, total queued batches, and per-worker
+// throughput counters.
+func (p *Pipe) MetricsInto(set *telemetry.Set, prefix string) {
+	set.CounterFunc(prefix+"batches_total", "batches flushed to shard workers", p.batches.Load)
+	set.CounterFunc(prefix+"batch_requests_total", "requests carried by flushed batches", p.batchReqs.Load)
+	set.GaugeFunc(prefix+"batch_fill_avg", "average requests per flushed batch (cap 256)", func() float64 {
+		b := p.batches.Load()
+		if b == 0 {
+			return 0
+		}
+		return float64(p.batchReqs.Load()) / float64(b)
+	})
+	set.GaugeFunc(prefix+"queue_depth", "batches enqueued but not yet consumed, all shards", func() float64 {
+		var total int
+		for i := range p.chans {
+			total += len(p.chans[i])
+		}
+		return float64(total)
+	})
+	for i := range p.consumed {
+		c := &p.consumed[i]
+		set.CounterFunc(fmt.Sprintf("%sworker%d_requests_total", prefix, i),
+			"requests consumed by this shard worker", c.Load)
+	}
 }

@@ -73,3 +73,85 @@ func TestSingleWorkerShardOf(t *testing.T) {
 		}
 	}
 }
+
+// TestSendAfterClosePanicsClearly pins the Send contract: a Send after
+// Close must fail with the package's own message, not an opaque
+// send-on-closed-channel runtime panic.
+func TestSendAfterClosePanicsClearly(t *testing.T) {
+	p := New(2, func(int, trace.Request) {})
+	p.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Send after Close did not panic")
+		}
+		if msg, ok := r.(string); !ok || msg != "shardpipe: Send after Close" {
+			t.Fatalf("panic = %v, want %q", r, "shardpipe: Send after Close")
+		}
+	}()
+	p.Send(0, trace.Request{Key: 1})
+}
+
+// TestQuiesce checks the mid-stream barrier: inside fn every request
+// sent so far — including sub-batch partials — has been consumed, and
+// the pipe keeps working afterwards.
+func TestQuiesce(t *testing.T) {
+	const workers = 3
+	var count atomic.Uint64
+	p := New(workers, func(int, trace.Request) { count.Add(1) })
+
+	send := func(n uint64) {
+		for i := uint64(0); i < n; i++ {
+			p.Send(p.ShardOf(i), trace.Request{Key: i})
+		}
+	}
+	send(1000) // not a multiple of BatchLen: partial batches pending
+	p.Quiesce(func() {
+		if got := count.Load(); got != 1000 {
+			t.Errorf("quiesced with %d consumed, want 1000", got)
+		}
+	})
+	send(500)
+	p.Quiesce(func() {
+		if got := count.Load(); got != 1500 {
+			t.Errorf("second quiesce: %d consumed, want 1500", got)
+		}
+	})
+	p.Close()
+	if count.Load() != 1500 {
+		t.Fatalf("consumed %d, want 1500", count.Load())
+	}
+	// Quiesce after Close degenerates to running fn.
+	ran := false
+	p.Quiesce(func() { ran = true })
+	if !ran {
+		t.Fatal("Quiesce after Close did not run fn")
+	}
+}
+
+// TestPipeTelemetry exercises the metric surface: per-worker consumed
+// counters sum to the stream length and the batch counters agree.
+func TestPipeTelemetry(t *testing.T) {
+	const n = 5000
+	p := New(2, func(int, trace.Request) {})
+	for i := uint64(0); i < n; i++ {
+		p.Send(p.ShardOf(i), trace.Request{Key: i})
+	}
+	p.Close()
+	var consumed uint64
+	for i := 0; i < p.Workers(); i++ {
+		consumed += p.Consumed(i)
+		if p.QueueDepth(i) != 0 {
+			t.Fatalf("queue depth %d after Close", p.QueueDepth(i))
+		}
+	}
+	if consumed != n {
+		t.Fatalf("consumed %d, want %d", consumed, n)
+	}
+	if p.batchReqs.Load() != n {
+		t.Fatalf("batchReqs = %d, want %d", p.batchReqs.Load(), n)
+	}
+	if p.batches.Load() < n/BatchLen {
+		t.Fatalf("batches = %d, want >= %d", p.batches.Load(), n/BatchLen)
+	}
+}

@@ -78,7 +78,10 @@ func (s *FixedRate) ProcessAll(r trace.Reader) error {
 }
 
 // MRC returns the approximated exact-LRU curve over object cache
-// sizes.
+// sizes. It is non-destructive: the SHARDS_adj shortfall credit is
+// applied to a copy of the histogram, so repeated calls — including
+// mid-stream snapshot reads — never compound the correction into the
+// live counts.
 func (s *FixedRate) MRC() *mrc.Curve {
 	hist := s.prof.ObjHist()
 	if s.adjust {
@@ -87,7 +90,9 @@ func (s *FixedRate) MRC() *mrc.Curve {
 		if expected > actual {
 			// Credit the shortfall to distance 1: under-sampling means
 			// short-distance references were missed.
-			hist.AddN(1, expected-actual)
+			adjusted := hist.Clone()
+			adjusted.AddN(1, expected-actual)
+			return mrc.FromHistogram(adjusted, 1/s.filter.Rate())
 		}
 	}
 	return mrc.FromHistogram(hist, 1/s.filter.Rate())

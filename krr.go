@@ -141,6 +141,12 @@ type ModelOptions = model.Options
 // summary, and capability flags.
 type ModelInfo = model.Info
 
+// ModelSnapshot is a non-finalizing curve read from a live model (see
+// Model.Snapshot): the curves of the stream so far, with Process still
+// legal afterwards. At end-of-stream it is bit-identical to the
+// finalized curves. cmd/krrserve serves these over HTTP.
+type ModelSnapshot = model.Snapshot
+
 // Models lists every registered MRC model, sorted by name.
 func Models() []ModelInfo { return model.All() }
 

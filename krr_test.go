@@ -101,7 +101,10 @@ func TestFacadeVariableSizes(t *testing.T) {
 	if err := p.ProcessAll(tr.Reader()); err != nil {
 		t.Fatal(err)
 	}
-	bc := p.ByteMRC()
+	bc, err := p.ByteMRC()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if bc.Eval(0) != 1 || bc.Len() < 3 {
 		t.Fatal("byte curve malformed")
 	}

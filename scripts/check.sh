@@ -33,12 +33,15 @@ go test -count=1 -run 'TestDifferential|TestCorpus|TestMetamorphic' ./internal/d
 if [ "${1:-}" = "fast" ]; then
 	echo "== go test (no race)"
 	go test ./...
-	echo "== model conformance (-race)"
-	go test -race -run 'TestConformance|TestSharded' ./internal/model/ ./internal/shardpipe/
+	echo "== model conformance + snapshots (-race)"
+	go test -race -run 'TestConformance|TestSharded|TestSnapshot|TestQuiesce' ./internal/model/ ./internal/shardpipe/
 else
 	echo "== go test -race"
 	go test -race ./...
 fi
+
+echo "== krrserve smoke (build daemon, ingest over HTTP, scrape, SIGTERM)"
+go test -count=1 -run TestServeSmoke ./cmd/krrserve/
 
 echo "== bench smoke (Table 5.3, 100x)"
 go test -run=NONE -bench=Table5_3 -benchtime=100x .
