@@ -20,24 +20,34 @@ import (
 	"krr/internal/workload"
 )
 
+// collectPreset materializes n requests of a preset at the benchmark
+// scale (shared with the A/B guard in abguard_test.go).
+func collectPreset(preset string, n int, variable bool) (*trace.Trace, error) {
+	p, ok := workload.ByName(preset)
+	if !ok {
+		return nil, fmt.Errorf("unknown preset %s", preset)
+	}
+	return trace.Collect(p.New(0.1, 42, variable), n)
+}
+
 // benchTrace materializes a preset once per benchmark binary run.
 func benchTrace(b *testing.B, preset string, n int, variable bool) *trace.Trace {
 	b.Helper()
-	p, ok := workload.ByName(preset)
-	if !ok {
-		b.Fatalf("unknown preset %s", preset)
-	}
-	tr, err := trace.Collect(p.New(0.1, 42, variable), n)
+	tr, err := collectPreset(preset, n, variable)
 	if err != nil {
 		b.Fatal(err)
 	}
 	return tr
 }
 
-// replay feeds b.N requests (cycling the trace) into process.
+// replay feeds b.N requests (cycling the trace) into process. Every
+// replay-driven benchmark reports allocs/op: a steady-state model's
+// hot path should not allocate, and the counter catches one that
+// starts to.
 func replay(b *testing.B, tr *trace.Trace, process func(trace.Request)) {
 	b.Helper()
 	reqs := tr.Reqs
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		process(reqs[i%len(reqs)])
@@ -158,6 +168,7 @@ func BenchmarkShardedKRR(b *testing.B) {
 				b.Fatal(err)
 			}
 			reqs := tr.Reqs
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				sp.Process(reqs[i%len(reqs)])
@@ -179,6 +190,24 @@ func BenchmarkModels(b *testing.B) {
 		b.Run(info.Name, func(b *testing.B) {
 			tr := benchTrace(b, "msr-web", 1<<17, false)
 			m, err := model.New(info.Name, model.Options{Seed: 1, SamplingRate: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			replay(b, tr, func(r trace.Request) { m.Process(r) })
+		})
+	}
+}
+
+// BenchmarkKRRBucket sweeps the bucketized stack's growth ratio over
+// the Table 5.1 configuration — the cost side of the accuracy-vs-cost
+// frontier in results/models_bench.md (TestDifferentialBucketRatios
+// pins the accuracy side). Larger ratios mean fewer buckets and fewer
+// victim rotations per reference.
+func BenchmarkKRRBucket(b *testing.B) {
+	for _, ratio := range []float64{1.25, 1.5, 2.0} {
+		b.Run(fmt.Sprintf("ratio=%v", ratio), func(b *testing.B) {
+			tr := benchTrace(b, "msr-web", 1<<17, false)
+			m, err := model.New("krr-bucket", model.Options{Seed: 1, SamplingRate: 1, BucketRatio: ratio})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -32,23 +32,24 @@ import (
 
 func main() {
 	var (
-		traceFile  = flag.String("trace", "", "binary trace file (alternative to -preset)")
-		preset     = flag.String("preset", "", "workload preset name")
-		n          = flag.Int("n", 0, "request cap (0 = whole trace / preset default)")
-		scale      = flag.Float64("scale", 1.0, "preset key-space scale")
-		variable   = flag.Bool("var", false, "variable object sizes for presets")
-		modelName  = flag.String("model", "krr", "model name (see -list-models), or sim / opt")
-		k          = flag.Int("k", 5, "K-LRU sampling size (krr* and sim models)")
-		method     = flag.String("method", "", "krr update: backward, topdown, linear")
-		bytesMode  = flag.String("bytes", "off", "byte distances: off, on, uniform, sizearray, fenwick")
-		rate       = flag.Float64("rate", 0, "spatial sampling rate (0 = off / model default)")
-		workers    = flag.Int("workers", 0, "sharded pipeline workers (<=1 = serial)")
-		points     = flag.Int("points", 25, "simulated sizes (sim and opt models)")
-		seed       = flag.Uint64("seed", 42, "random seed")
-		format     = flag.String("format", "csv", "output format: csv or json")
-		out        = flag.String("o", "", "output file (default: stdout)")
-		listModels = flag.Bool("list-models", false, "print the model registry as a markdown table and exit")
-		selftest   = flag.Bool("selftest", false, "run the differential correctness harness and exit")
+		traceFile   = flag.String("trace", "", "binary trace file (alternative to -preset)")
+		preset      = flag.String("preset", "", "workload preset name")
+		n           = flag.Int("n", 0, "request cap (0 = whole trace / preset default)")
+		scale       = flag.Float64("scale", 1.0, "preset key-space scale")
+		variable    = flag.Bool("var", false, "variable object sizes for presets")
+		modelName   = flag.String("model", "krr", "model name (see -list-models), or sim / opt")
+		k           = flag.Int("k", 5, "K-LRU sampling size (krr* and sim models)")
+		method      = flag.String("method", "", "krr update: backward, topdown, linear")
+		bytesMode   = flag.String("bytes", "off", "byte distances: off, on, uniform, sizearray, fenwick")
+		rate        = flag.Float64("rate", 0, "spatial sampling rate (0 = off / model default)")
+		workers     = flag.Int("workers", 0, "sharded pipeline workers (<=1 = serial)")
+		bucketRatio = flag.Float64("bucket-ratio", 0, "krr-bucket geometric bucket ratio (0 = default)")
+		points      = flag.Int("points", 25, "simulated sizes (sim and opt models)")
+		seed        = flag.Uint64("seed", 42, "random seed")
+		format      = flag.String("format", "csv", "output format: csv or json")
+		out         = flag.String("o", "", "output file (default: stdout)")
+		listModels  = flag.Bool("list-models", false, "print the model registry as a markdown table and exit")
+		selftest    = flag.Bool("selftest", false, "run the differential correctness harness and exit")
 	)
 	flag.Parse()
 
@@ -98,6 +99,7 @@ func main() {
 			SamplingRate: *rate,
 			Bytes:        bm,
 			Workers:      *workers,
+			BucketRatio:  *bucketRatio,
 		})
 		if err != nil {
 			fatal(err)

@@ -54,14 +54,15 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8701", "listen address")
-		name    = flag.String("model", "krr", "registered model name (see internal/model)")
-		k       = flag.Int("k", 0, "K-LRU sampling size (0 = model default)")
-		seed    = flag.Uint64("seed", 1, "model seed")
-		rate    = flag.Float64("rate", 0, "spatial sampling rate in (0,1); 0 = off")
-		workers = flag.Int("workers", 1, "shard workers (>1 requires a CapSharded model)")
-		bytes   = flag.String("bytes", "off", "byte mode: off|on|uniform|sizearray|fenwick")
-		final   = flag.String("final", "", "write the final curve JSON here on shutdown (default stdout)")
+		addr        = flag.String("addr", ":8701", "listen address")
+		name        = flag.String("model", "krr", "registered model name (see internal/model)")
+		k           = flag.Int("k", 0, "K-LRU sampling size (0 = model default)")
+		seed        = flag.Uint64("seed", 1, "model seed")
+		rate        = flag.Float64("rate", 0, "spatial sampling rate in (0,1); 0 = off")
+		workers     = flag.Int("workers", 1, "shard workers (>1 requires a CapSharded model)")
+		bytes       = flag.String("bytes", "off", "byte mode: off|on|uniform|sizearray|fenwick")
+		bucketRatio = flag.Float64("bucket-ratio", 0, "krr-bucket geometric bucket ratio (0 = default)")
+		final       = flag.String("final", "", "write the final curve JSON here on shutdown (default stdout)")
 	)
 	flag.Parse()
 
@@ -71,6 +72,7 @@ func main() {
 	}
 	srv, err := newServer(*name, model.Options{
 		K: *k, Seed: *seed, SamplingRate: *rate, Bytes: mode, Workers: *workers,
+		BucketRatio: *bucketRatio,
 	})
 	if err != nil {
 		log.Fatalf("krrserve: %v", err)

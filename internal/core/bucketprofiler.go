@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"krr/internal/histogram"
+	"krr/internal/mrc"
+	"krr/internal/sampling"
+	"krr/internal/telemetry"
+	"krr/internal/trace"
+)
+
+// BucketConfig assembles a bucketized KRR profiler.
+type BucketConfig struct {
+	// K is the K-LRU sampling size being modeled. Must be >= 1.
+	K int
+	// KPrime overrides the stack exponent; 0 applies K′ = K^1.4.
+	KPrime float64
+	// Ratio is the geometric bucket growth ratio in
+	// [1, MaxBucketRatio]; 0 selects DefaultBucketRatio. Ratio 1
+	// degenerates to the exact per-position linear walk.
+	Ratio float64
+	// SamplingRate applies SHARDS-style spatial sampling when in
+	// (0, 1); 0 or 1 disables it.
+	SamplingRate float64
+	// Seed fixes all randomness.
+	Seed uint64
+}
+
+func (c BucketConfig) kPrime() float64 {
+	if c.KPrime > 0 {
+		return c.KPrime
+	}
+	return KPrimeFor(c.K)
+}
+
+func (c BucketConfig) ratio() float64 {
+	if c.Ratio == 0 {
+		return DefaultBucketRatio
+	}
+	return c.Ratio
+}
+
+func (c BucketConfig) validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("core: bucket config K = %d, must be >= 1", c.K)
+	}
+	if c.Ratio != 0 && (c.Ratio < 1 || c.Ratio > MaxBucketRatio) {
+		return fmt.Errorf("core: bucket ratio %v out of [1, %v]", c.Ratio, MaxBucketRatio)
+	}
+	if c.SamplingRate < 0 || c.SamplingRate > 1 {
+		return fmt.Errorf("core: sampling rate %v out of [0, 1]", c.SamplingRate)
+	}
+	return nil
+}
+
+// BucketProfiler builds K-LRU miss ratio curves in one pass over the
+// bucketized stack — object granularity only (byte trackers are tied
+// to per-position shifts the bucketized update does not perform). Not
+// safe for concurrent use.
+type BucketProfiler struct {
+	cfg    BucketConfig
+	stack  *BucketStack
+	filter *sampling.Filter
+
+	objHist *histogram.Dense
+
+	seen    telemetry.Counter
+	sampled telemetry.Counter
+}
+
+// NewBucketProfiler builds a bucketized profiler from cfg.
+func NewBucketProfiler(cfg BucketConfig) (*BucketProfiler, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	p := &BucketProfiler{
+		cfg:     cfg,
+		stack:   NewBucketStack(cfg.kPrime(), cfg.ratio(), cfg.Seed),
+		objHist: histogram.NewDense(1024),
+	}
+	if cfg.SamplingRate > 0 && cfg.SamplingRate < 1 {
+		p.filter = sampling.NewRate(cfg.SamplingRate)
+	}
+	return p, nil
+}
+
+// MustBucketProfiler is NewBucketProfiler, panicking on config errors.
+func MustBucketProfiler(cfg BucketConfig) *BucketProfiler {
+	p, err := NewBucketProfiler(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Config returns the profiler's configuration.
+func (p *BucketProfiler) Config() BucketConfig { return p.cfg }
+
+// Stack exposes the underlying bucketized stack.
+func (p *BucketProfiler) Stack() *BucketStack { return p.stack }
+
+// Seen returns the number of requests offered (before sampling).
+func (p *BucketProfiler) Seen() uint64 { return p.seen.Load() }
+
+// Sampled returns the number of requests admitted by the filter.
+func (p *BucketProfiler) Sampled() uint64 { return p.sampled.Load() }
+
+// MetricsInto registers the profiler's live telemetry under prefix.
+func (p *BucketProfiler) MetricsInto(set *telemetry.Set, prefix string) {
+	set.CounterFunc(prefix+"requests_seen_total", "requests offered (before spatial sampling)", p.seen.Load)
+	set.CounterFunc(prefix+"requests_sampled_total", "requests admitted past spatial sampling", p.sampled.Load)
+	p.stack.MetricsInto(set, prefix)
+}
+
+// Process feeds one request.
+func (p *BucketProfiler) Process(req trace.Request) {
+	p.seen.Inc()
+	if p.filter != nil && !p.filter.Sampled(req.Key) {
+		return
+	}
+	p.sampled.Inc()
+	if req.Op == trace.OpDelete {
+		p.stack.Delete(req.Key)
+		return
+	}
+	res := p.stack.Reference(req.Key, req.Size)
+	if res.Cold {
+		p.objHist.AddCold()
+		return
+	}
+	p.objHist.Add(res.Distance)
+}
+
+// ProcessAll drains a reader.
+func (p *BucketProfiler) ProcessAll(r trace.Reader) error {
+	for {
+		req, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		p.Process(req)
+	}
+}
+
+// scale converts sampled distances back to full-trace cache sizes.
+func (p *BucketProfiler) scale() float64 {
+	if p.filter == nil {
+		return 1
+	}
+	return 1 / p.filter.Rate()
+}
+
+// ObjectMRC returns the modeled K-LRU miss ratio curve over
+// object-count cache sizes.
+func (p *BucketProfiler) ObjectMRC() *mrc.Curve {
+	return mrc.FromHistogram(p.objHist, p.scale())
+}
+
+// ObjHist exposes the object histogram.
+func (p *BucketProfiler) ObjHist() *histogram.Dense { return p.objHist }
+
+// ResetHistograms clears the recorded distance distribution while
+// keeping the stack state intact (see Profiler.ResetHistograms).
+func (p *BucketProfiler) ResetHistograms() {
+	p.objHist = histogram.NewDense(1024)
+}

@@ -1,0 +1,35 @@
+package core
+
+import "krr/internal/xrand"
+
+// rngBatch sizes the uniform-draw buffer shared by the stack samplers.
+const rngBatch = 64
+
+// drawBatch batches uniform draws for the stack samplers: refilling a
+// small buffer in a tight loop amortizes the per-draw call overhead
+// without changing the consumed sequence.
+type drawBatch struct {
+	src *xrand.Source
+	buf [rngBatch]float64
+	pos int
+}
+
+// newDrawBatch wraps src with an empty buffer; the first draw refills.
+func newDrawBatch(src *xrand.Source) drawBatch {
+	return drawBatch{src: src, pos: rngBatch}
+}
+
+// next returns the next batched uniform draw from (0, 1]. The consumed
+// sequence is identical to calling src.Float64Open per draw.
+func (d *drawBatch) next() float64 {
+	if d.pos == rngBatch {
+		src := d.src
+		for i := range d.buf {
+			d.buf[i] = src.Float64Open()
+		}
+		d.pos = 0
+	}
+	v := d.buf[d.pos]
+	d.pos++
+	return v
+}

@@ -1,6 +1,7 @@
 package difftest
 
 import (
+	"fmt"
 	"testing"
 
 	"krr/internal/model"
@@ -64,6 +65,47 @@ func TestDifferentialEnvelopes(t *testing.T) {
 					if !bres.Pass() {
 						reportFailure(t, info, trial, bres, true)
 					}
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialBucketRatios sweeps the krr-bucket model's bucket
+// growth ratio across its practical range and holds each point to the
+// ratio-dependent declared envelope — the accuracy side of the
+// bucketization accuracy/cost tradeoff, pinned as a function rather
+// than at the default alone.
+func TestDifferentialBucketRatios(t *testing.T) {
+	runner := NewRunner(0)
+	for _, trial := range FastTrials() {
+		trial := trial
+		for _, ratio := range []float64{1.25, 1.5, 2} {
+			ratio := ratio
+			t.Run(fmt.Sprintf("%s/ratio=%v", trial.Name, ratio), func(t *testing.T) {
+				ref, sizes, err := runner.Reference("klru", trial)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := model.New("krr-bucket", model.Options{
+					K: trial.K, Seed: trial.Seed, BucketRatio: ratio,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := model.ProcessAll(m, trial.Trace.Reader()); err != nil {
+					t.Fatal(err)
+				}
+				curve := m.ObjectMRC()
+				if err := CheckCurve(curve); err != nil {
+					t.Fatalf("invariant: %v", err)
+				}
+				mae := mrc.MAE(ref, curve, sizes)
+				env := BucketEnvelope(ratio)
+				t.Logf("ratio %v: MAE = %.4f (envelope %.4f)", ratio, mae, env)
+				if mae > env {
+					t.Errorf("krr-bucket ratio %v on %s: MAE %.4f > envelope %.4f",
+						ratio, trial.Name, mae, env)
 				}
 			})
 		}

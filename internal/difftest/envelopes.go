@@ -1,6 +1,9 @@
 package difftest
 
-import "krr/internal/model"
+import (
+	"krr/internal/core"
+	"krr/internal/model"
+)
 
 // Per-model MAE envelopes against the exact simulators on the harness
 // trials, object granularity. These are declared bounds, not wishes:
@@ -56,8 +59,27 @@ var byteEnvelopes = map[string]float64{
 // new technique.
 const DefaultEnvelope = 0.10
 
+// BucketEnvelope returns the declared object-granularity MAE bound
+// for the krr-bucket model at a given bucket growth ratio. The
+// bucketized stack reports distances at position granularity but
+// mixes objects uniformly within buckets, so its error against the
+// exact simulation grows with bucket width — near-linearly in
+// (ratio−1) on the adversarial loop trial, whose cyclic references
+// all land in the widest bucket. Observed on the harness trials:
+// loop ~0.035/0.070/0.112 at ratios 1.25/1.5/2 with every realistic
+// trial 3–4x lower (msr ~0.032 at ratio 2). The bound keeps the
+// table's ~2x-over-observed convention across the legal ratio range.
+func BucketEnvelope(ratio float64) float64 {
+	return 0.03 + 0.15*(ratio-1)
+}
+
 // Envelope returns the declared object-granularity MAE bound.
 func Envelope(name string) float64 {
+	if name == "krr-bucket" {
+		// The harness builds krr-bucket at its default ratio; the
+		// ratio sweep test covers the rest of the range.
+		return BucketEnvelope(core.DefaultBucketRatio)
+	}
 	if e, ok := envelopes[name]; ok {
 		return e
 	}

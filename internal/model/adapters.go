@@ -188,6 +188,30 @@ func newKRR(method core.UpdateMethod) func(Options) (Model, error) {
 	}
 }
 
+// newKRRBucket builds the bucketized KRR stack model: the Eq. 4.1
+// stay-probability evaluated at geometric-bucket granularity over a
+// flat SoA arena, O(log M) per reference with no pow on the hot path.
+// Object granularity only — byte trackers are tied to the exact
+// per-position shifts the bucketized update does not perform.
+func newKRRBucket(o Options) (Model, error) {
+	filter, scale := extFilter(o)
+	p, err := core.NewBucketProfiler(core.BucketConfig{
+		K:     o.k(),
+		Seed:  o.Seed,
+		Ratio: o.BucketRatio,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &streamModel{
+		filter:   filter,
+		process:  p.Process,
+		objCurve: func() *mrc.Curve { return mrc.FromHistogram(p.ObjHist(), scale) },
+		objDense: p.ObjHist(),
+		metrics:  p.Stack().MetricsInto,
+	}, nil
+}
+
 // --- Olken exact-LRU stack -------------------------------------------
 
 func newOlken(o Options) (Model, error) {
@@ -364,6 +388,15 @@ func init() {
 		Space:      "O(M) array + open-address index",
 		Caps:       CapBytes | CapDeletes | CapSharded,
 		New:        newKRR(core.Linear),
+	})
+	Register(Info{
+		Name:       "krr-bucket",
+		Target:     "klru",
+		Paper:      "Yang, Wang & Wang, ICPP '21 × Saemundsson et al., SoCC '14 (buckets)",
+		Complexity: "O(log M)/ref",
+		Space:      "O(M) SoA arena + O(log M) buckets",
+		Caps:       CapDeletes | CapSharded,
+		New:        newKRRBucket,
 	})
 	Register(Info{
 		Name:       "olken",

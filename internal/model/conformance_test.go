@@ -271,6 +271,15 @@ func TestRegistryLookup(t *testing.T) {
 	if _, err := New("aet", Options{Workers: 4}); err == nil {
 		t.Fatal("Workers > 1 accepted without CapSharded")
 	}
+	if _, err := New("krr-bucket", Options{BucketRatio: 0.5}); err == nil {
+		t.Fatal("bucket ratio below 1 accepted")
+	}
+	if _, err := New("krr-bucket", Options{BucketRatio: 8}); err == nil {
+		t.Fatal("bucket ratio above the maximum accepted")
+	}
+	if _, err := New("krr-bucket", Options{BucketRatio: 1.25}); err != nil {
+		t.Fatalf("in-range bucket ratio rejected: %v", err)
+	}
 	names := Names()
 	if len(names) != len(All()) {
 		t.Fatalf("Names/All disagree: %d vs %d", len(names), len(All()))

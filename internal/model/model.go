@@ -45,6 +45,7 @@ import (
 	"io"
 	"strings"
 
+	"krr/internal/core"
 	"krr/internal/mrc"
 	"krr/internal/telemetry"
 	"krr/internal/trace"
@@ -176,6 +177,10 @@ type Options struct {
 	// Workers > 1 wraps the model in the sharded fan-out pipeline
 	// (requires CapSharded); 0 or 1 builds it serial.
 	Workers int
+	// BucketRatio sets the krr-bucket model's geometric bucket growth
+	// ratio, in [1, core.MaxBucketRatio]; 0 means the technique's
+	// default (core.DefaultBucketRatio). Other models ignore it.
+	BucketRatio float64
 }
 
 // k returns the effective sampling size.
@@ -203,6 +208,9 @@ func (o Options) Validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("model: options Workers = %d, must be >= 0", o.Workers)
+	}
+	if o.BucketRatio != 0 && (o.BucketRatio < 1 || o.BucketRatio > core.MaxBucketRatio) {
+		return fmt.Errorf("model: bucket ratio %v out of [1, %v]", o.BucketRatio, core.MaxBucketRatio)
 	}
 	return nil
 }

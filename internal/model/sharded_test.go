@@ -63,7 +63,7 @@ func TestShardedVsSerial(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, name := range []string{"krr", "olken", "mimir"} {
+			for _, name := range []string{"krr", "krr-bucket", "olken", "mimir"} {
 				serial := buildCurve(t, name, Options{Seed: 9}, tr)
 				sharded := buildCurve(t, name, Options{Seed: 9, Workers: 4}, tr)
 				at := mrc.EvenSizes(w.wss, 64)

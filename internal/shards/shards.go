@@ -17,7 +17,6 @@ package shards
 import (
 	"errors"
 	"io"
-	"sort"
 
 	"krr/internal/hashing"
 	"krr/internal/mrc"
@@ -105,19 +104,35 @@ func (s *FixedRate) ByteMRC() *mrc.Curve {
 
 // FixedSize is bounded-memory SHARDS: at most sMax sampled objects are
 // tracked, with the sampling threshold lowered as needed.
+//
+// Both per-request structures are flat. Recorded weights accumulate in
+// a dense array indexed by rescaled distance (the index range is the
+// working-set scale every dense-histogram model pays), and threshold
+// shrinks pop a lazy max-heap over the sample set's hashes — the two
+// map-driven paths (per-reference map assignment plus a full sample
+// scan on every over-cap insert) that used to dominate the model's
+// per-request cost.
 type FixedSize struct {
 	sMax      int
 	threshold uint64 // current T; sampling condition hash mod P < T
 	stack     *olken.Stack
-	hashes    map[uint64]uint64 // key -> hash mod P, for eviction
-	// hist accumulates (rescaled distance, weight) pairs; weights are
-	// 1/R at record time since one sampled reference stands for 1/R
-	// unsampled ones.
-	hist   map[uint64]float64
+	hashes    map[uint64]uint64 // key -> hash mod P, for liveness
+	// byHash is a max-heap of (hash, key) over the live sample set.
+	// Entries are pushed once per residency and stale entries (keys
+	// already evicted or deleted) are discarded lazily on pop, so a
+	// threshold shrink costs O(log sMax) amortized per evicted key.
+	byHash []hashEntry
+	// hist accumulates weight per rescaled distance; weights are 1/R
+	// at record time since one sampled reference stands for 1/R
+	// unsampled ones. Grown on demand.
+	hist   []float64
 	coldW  float64
 	totalW float64
 	seen   uint64
 }
+
+// hashEntry orders the live sample set by hash for threshold shrinks.
+type hashEntry struct{ h, key uint64 }
 
 // NewFixedSize builds a fixed-size SHARDS model starting at rate
 // startRate with a cap of sMax tracked objects.
@@ -133,7 +148,6 @@ func NewFixedSize(startRate float64, sMax int, seed uint64) *FixedSize {
 		threshold: uint64(startRate*sampling.Modulus + 0.5),
 		stack:     olken.New(seed),
 		hashes:    make(map[uint64]uint64),
-		hist:      make(map[uint64]float64),
 	}
 }
 
@@ -164,10 +178,13 @@ func (s *FixedSize) Process(req trace.Request) {
 	}
 	rate := s.Rate()
 	res := s.stack.Reference(req.Key, req.Size)
-	s.hashes[req.Key] = h
 	w := 1 / rate
 	s.totalW += w
 	if res.Cold {
+		// A key's hash never changes, so one (hash, key) pair per
+		// residency is enough for the shrink heap.
+		s.hashes[req.Key] = h
+		s.pushHash(hashEntry{h: h, key: req.Key})
 		s.coldW += w
 		s.shrinkIfNeeded()
 		return
@@ -176,28 +193,72 @@ func (s *FixedSize) Process(req trace.Request) {
 	if d == 0 {
 		d = 1
 	}
+	if need := int(d) + 1; need > len(s.hist) {
+		s.hist = append(s.hist, make([]float64, need-len(s.hist))...)
+	}
 	s.hist[d] += w
 }
 
 // shrinkIfNeeded lowers the threshold until the sample set fits sMax,
-// evicting objects whose hash no longer qualifies.
+// evicting objects whose hash no longer qualifies. The new threshold
+// is the maximum resident hash (an exclusive bound, so the key(s)
+// holding it always leave), read off the heap top after discarding
+// stale entries.
 func (s *FixedSize) shrinkIfNeeded() {
 	for s.stack.Len() > s.sMax {
-		// New threshold: the maximum resident hash (exclusive bound).
-		var maxHash uint64
-		for _, h := range s.hashes {
-			if h > maxHash {
-				maxHash = h
+		for {
+			if _, live := s.hashes[s.byHash[0].key]; live {
+				break
 			}
+			s.popHash()
 		}
-		s.threshold = maxHash // strictly lowers: at least one key has h == maxHash
-		for key, h := range s.hashes {
-			if h >= s.threshold {
-				s.stack.Delete(key)
-				delete(s.hashes, key)
+		s.threshold = s.byHash[0].h
+		for len(s.byHash) > 0 && s.byHash[0].h >= s.threshold {
+			e := s.popHash()
+			if _, live := s.hashes[e.key]; live {
+				s.stack.Delete(e.key)
+				delete(s.hashes, e.key)
 			}
 		}
 	}
+}
+
+// pushHash adds an entry to the byHash max-heap.
+func (s *FixedSize) pushHash(e hashEntry) {
+	s.byHash = append(s.byHash, e)
+	i := len(s.byHash) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.byHash[parent].h >= s.byHash[i].h {
+			break
+		}
+		s.byHash[parent], s.byHash[i] = s.byHash[i], s.byHash[parent]
+		i = parent
+	}
+}
+
+// popHash removes and returns the maximum-hash entry.
+func (s *FixedSize) popHash() hashEntry {
+	top := s.byHash[0]
+	n := len(s.byHash) - 1
+	s.byHash[0] = s.byHash[n]
+	s.byHash = s.byHash[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && s.byHash[r].h > s.byHash[c].h {
+			c = r
+		}
+		if s.byHash[i].h >= s.byHash[c].h {
+			break
+		}
+		s.byHash[i], s.byHash[c] = s.byHash[c], s.byHash[i]
+		i = c
+	}
+	return top
 }
 
 // ProcessAll drains a reader.
@@ -219,16 +280,14 @@ func (s *FixedSize) MRC() *mrc.Curve {
 	if s.totalW == 0 {
 		return &mrc.Curve{Sizes: []uint64{0}, Miss: []float64{1}, Interp: mrc.InterpStep}
 	}
-	dists := make([]uint64, 0, len(s.hist))
-	for d := range s.hist {
-		dists = append(dists, d)
-	}
-	sort.Slice(dists, func(i, j int) bool { return dists[i] < dists[j] })
 	c := &mrc.Curve{Sizes: []uint64{0}, Miss: []float64{1}, Interp: mrc.InterpStep}
 	var cum float64
-	for _, d := range dists {
-		cum += s.hist[d]
-		c.Sizes = append(c.Sizes, d)
+	for d, w := range s.hist {
+		if w == 0 {
+			continue
+		}
+		cum += w
+		c.Sizes = append(c.Sizes, uint64(d))
 		c.Miss = append(c.Miss, clamp01(1-cum/s.totalW))
 	}
 	return c

@@ -110,8 +110,29 @@ const (
 	BytesFenwick = core.BytesFenwick
 )
 
+// BucketConfig assembles a BucketProfiler. The zero value is invalid:
+// K must be at least 1; Ratio 0 selects DefaultBucketRatio.
+type BucketConfig = core.BucketConfig
+
+// BucketProfiler builds K-LRU MRCs with the bucketized KRR stack:
+// geometric position buckets over a flat slot arena, O(log M) work
+// per reference with no pow on the hot path, trading a bounded,
+// ratio-dependent accuracy loss for a ~10x faster update than the
+// backward sampler (see the krr-bucket model and
+// difftest.BucketEnvelope).
+type BucketProfiler = core.BucketProfiler
+
+// DefaultBucketRatio is the bucketized stack's default geometric
+// bucket growth ratio.
+const DefaultBucketRatio = core.DefaultBucketRatio
+
 // NewProfiler builds a KRR profiler.
 func NewProfiler(cfg Config) (*Profiler, error) { return core.NewProfiler(cfg) }
+
+// NewBucketProfiler builds a bucketized KRR profiler.
+func NewBucketProfiler(cfg BucketConfig) (*BucketProfiler, error) {
+	return core.NewBucketProfiler(cfg)
+}
 
 // NewShardedProfiler builds a cfg.Workers-way sharded profiler: the
 // caller's goroutine routes requests to per-worker stacks over batched

@@ -46,4 +46,7 @@ go test -count=1 -run TestServeSmoke ./cmd/krrserve/
 echo "== bench smoke (Table 5.3, 100x)"
 go test -run=NONE -bench=Table5_3 -benchtime=100x .
 
+echo "== KRR hot-path A/B guard (interleaved ratios vs aet)"
+KRR_BENCH_GUARD=1 go test -count=1 -run TestKRRHotPathABGuard .
+
 echo "check.sh: OK"
