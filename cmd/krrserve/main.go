@@ -1,30 +1,57 @@
-// krrserve is the online-monitoring daemon: a KRR (or any registered
-// MRC model) shadow profiler behind an HTTP API. Production traffic is
-// mirrored into it — NDJSON or the binary trace format over POST — and
-// operators read live miss-ratio curves from non-finalizing snapshots
-// while the stream keeps flowing, the deployment mode the source paper
-// motivates for K-LRU caches like Redis.
+// krrserve is the fleet-advisor daemon: a registry of shadow MRC
+// models (one per tenant) behind an HTTP API. Production traffic from
+// many caches is mirrored in — NDJSON or the binary trace format over
+// POST, routed by tenant id — and operators read live miss-ratio
+// curves, fleet-wide memory accounting, and a partitioning plan that
+// waterfills a shared cache budget across tenants by marginal
+// miss-ratio gain. The single-tenant endpoints of earlier versions
+// remain as aliases for the "default" tenant.
 //
-// Endpoints:
+// Tenant endpoints:
 //
-//	POST /ingest       NDJSON requests, one object per line:
-//	                   {"key": 7, "size": 200, "op": "get"}
-//	                   ("key" may be a string, hashed to 64 bits; size
-//	                   and op are optional). With Content-Type
-//	                   application/octet-stream the body is the binary
-//	                   trace format (KRT1) instead.
-//	GET  /mrc?size=N   miss ratio at one cache size, from a live
-//	                   snapshot; &unit=bytes evaluates the byte curve.
-//	GET  /curve        the full object curve as JSON; ?points=N
-//	                   downsamples, &unit=bytes selects the byte curve.
-//	GET  /stats        stream counters and uptime.
-//	GET  /metrics      Prometheus text exposition.
-//	GET  /debug/vars   expvar JSON (same metrics).
-//	     /debug/pprof  the standard profiling handlers.
-//	GET  /healthz      liveness probe.
+//	GET    /tenants               list tenants (id, model, traffic,
+//	                              footprint, timestamps).
+//	POST   /tenants               create a tenant: {"id": "t1",
+//	                              "model": "krr", "k": 5, "seed": 1,
+//	                              "rate": 0.01, "workers": 2,
+//	                              "bytes": "on", "bucket_ratio": 1.2}
+//	                              (all fields but id optional).
+//	DELETE /tenants/{id}          evict a tenant, freeing its model.
+//	POST   /tenants/{id}/ingest   trace requests for one tenant;
+//	                              NDJSON lines {"key": 7, "size": 200,
+//	                              "op": "get"} ("key" may be a string,
+//	                              hashed to 64 bits), or the binary
+//	                              trace format (KRT1) with Content-Type
+//	                              application/octet-stream. Unknown ids
+//	                              are auto-created with the default
+//	                              model spec.
+//	GET    /tenants/{id}/mrc?size=N     miss ratio at one cache size,
+//	                              from a live snapshot; &unit=bytes
+//	                              evaluates the byte curve.
+//	GET    /tenants/{id}/curve    the full curve as JSON; ?points=N
+//	                              downsamples, &unit=bytes selects the
+//	                              byte curve.
+//	GET    /tenants/{id}/stats    stream counters.
+//	GET    /allocate?budget=N     waterfill partitioning of budget
+//	                              across all live tenants, with
+//	                              proportional-by-traffic and uniform
+//	                              baselines; &unit=bytes partitions a
+//	                              byte budget (requires byte-mode
+//	                              models).
+//
+// Process-wide:
+//
+//	POST /ingest, GET /mrc, /curve, /stats   aliases for the
+//	                              "default" tenant.
+//	GET  /metrics    Prometheus text exposition: server and fleet
+//	                 metrics unlabeled, per-tenant metrics labeled
+//	                 tenant="id".
+//	GET  /debug/vars expvar JSON. /debug/pprof: profiling handlers.
+//	GET  /healthz    liveness probe.
 //
 // On SIGTERM/SIGINT the server stops accepting requests, finalizes the
-// model, and writes the final curve as JSON to -final (or stdout).
+// default tenant's model, and writes its final curve as JSON to -final
+// (or stdout).
 package main
 
 import (
@@ -40,11 +67,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
-	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"krr/internal/fleet"
 	"krr/internal/hashing"
 	"krr/internal/model"
 	"krr/internal/mrc"
@@ -52,17 +81,23 @@ import (
 	"krr/internal/trace"
 )
 
+// defaultTenant is the id behind the single-tenant legacy endpoints.
+const defaultTenant = "default"
+
 func main() {
 	var (
 		addr        = flag.String("addr", ":8701", "listen address")
-		name        = flag.String("model", "krr", "registered model name (see internal/model)")
+		name        = flag.String("model", "krr", "default tenant model (see internal/model)")
 		k           = flag.Int("k", 0, "K-LRU sampling size (0 = model default)")
 		seed        = flag.Uint64("seed", 1, "model seed")
 		rate        = flag.Float64("rate", 0, "spatial sampling rate in (0,1); 0 = off")
 		workers     = flag.Int("workers", 1, "shard workers (>1 requires a CapSharded model)")
 		bytes       = flag.String("bytes", "off", "byte mode: off|on|uniform|sizearray|fenwick")
 		bucketRatio = flag.Float64("bucket-ratio", 0, "krr-bucket geometric bucket ratio (0 = default)")
-		final       = flag.String("final", "", "write the final curve JSON here on shutdown (default stdout)")
+		memBudget   = flag.Int64("memory-budget", 0, "global model-footprint budget in bytes (0 = unlimited)")
+		maxTenants  = flag.Int("max-tenants", 0, "tenant cap, LRU-evicted past it (0 = unlimited)")
+		idleTTL     = flag.Duration("idle-ttl", 0, "evict tenants idle this long (0 = never)")
+		final       = flag.String("final", "", "write the default tenant's final curve JSON here on shutdown (default stdout)")
 	)
 	flag.Parse()
 
@@ -70,14 +105,22 @@ func main() {
 	if !ok {
 		log.Fatalf("krrserve: unknown byte mode %q", *bytes)
 	}
-	srv, err := newServer(*name, model.Options{
-		K: *k, Seed: *seed, SamplingRate: *rate, Bytes: mode, Workers: *workers,
-		BucketRatio: *bucketRatio,
+	srv, err := newServer(fleet.Config{
+		Default: fleet.Spec{
+			Model: *name,
+			Options: model.Options{
+				K: *k, Seed: *seed, SamplingRate: *rate, Bytes: mode,
+				Workers: *workers, BucketRatio: *bucketRatio,
+			},
+		},
+		MemoryBudgetBytes: *memBudget,
+		MaxTenants:        *maxTenants,
+		IdleTTL:           *idleTTL,
 	})
 	if err != nil {
 		log.Fatalf("krrserve: %v", err)
 	}
-	// Mirror the whole metric set into /debug/vars. Done here, not in
+	// Mirror the metric set into /debug/vars. Done here, not in
 	// newServer: expvar names are process-global and panic on reuse,
 	// and tests build many servers per process.
 	srv.set.Publish("krrserve")
@@ -85,10 +128,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
+	if *idleTTL > 0 {
+		go srv.sweepLoop(ctx, *idleTTL)
+	}
+
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("krrserve: model=%s listening on %s", *name, *addr)
+	log.Printf("krrserve: default model=%s listening on %s", *name, *addr)
 
 	select {
 	case err := <-errc:
@@ -110,16 +157,13 @@ func main() {
 	log.Printf("krrserve: final curve flushed")
 }
 
-// server owns one model instance behind a mutex. Serial models are not
-// concurrency-safe, and even model.Sharded's internal serialization
-// would interleave concurrent ingest bodies request-by-request; one
-// lock keeps each ingest batch atomic and snapshots consistent.
+// server is the thin HTTP shell over the fleet registry: routing,
+// wire formats, and process-level counters. All model hosting,
+// locking, budget enforcement and partitioning live in internal/fleet.
 type server struct {
-	mu      sync.Mutex
-	model   model.Model
-	start   time.Time
-	final   bool
-	byteful bool
+	reg   *fleet.Registry
+	start time.Time
+	final atomic.Bool
 
 	set        *telemetry.Set
 	ingests    telemetry.Counter
@@ -127,16 +171,19 @@ type server struct {
 	snapshots  telemetry.Counter
 }
 
-func newServer(name string, opts model.Options) (*server, error) {
-	m, err := model.New(name, opts)
+func newServer(cfg fleet.Config) (*server, error) {
+	// Fail fast on an invalid default spec instead of at first ingest.
+	probe, err := model.New(valueOr(cfg.Default.Model, "krr"), cfg.Default.Options)
 	if err != nil {
 		return nil, err
 	}
+	if c, ok := probe.(io.Closer); ok {
+		_ = c.Close() // sharded probes hold worker goroutines
+	}
 	s := &server{
-		model:   m,
-		start:   time.Now(),
-		byteful: opts.Bytes != model.BytesOff,
-		set:     telemetry.NewSet(),
+		reg:   fleet.NewRegistry(cfg),
+		start: time.Now(),
+		set:   telemetry.NewSet(),
 	}
 	s.set.CounterFunc("krrserve_ingest_requests_total", "trace requests accepted over HTTP", s.ingests.Load)
 	s.set.CounterFunc("krrserve_ingest_errors_total", "ingest bodies rejected", s.ingestErrs.Load)
@@ -144,19 +191,51 @@ func newServer(name string, opts model.Options) (*server, error) {
 	s.set.GaugeFunc("krrserve_uptime_seconds", "seconds since process start", func() float64 {
 		return time.Since(s.start).Seconds()
 	})
-	if ms, ok := m.(model.MetricSource); ok {
-		ms.MetricsInto(s.set, "krr_model_")
-	}
+	s.reg.MetricsInto(s.set, "fleet_")
 	return s, nil
+}
+
+func valueOr(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// sweepLoop evicts idle tenants in the background.
+func (s *server) sweepLoop(ctx context.Context, ttl time.Duration) {
+	tick := time.NewTicker(ttl / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			if n := s.reg.SweepIdle(); n > 0 {
+				log.Printf("krrserve: swept %d idle tenants", n)
+			}
+		}
+	}
 }
 
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/ingest", s.handleIngest)
-	mux.HandleFunc("/mrc", s.handleMRC)
-	mux.HandleFunc("/curve", s.handleCurve)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/metrics", s.handleMetrics)
+	// Tenant-scoped API.
+	mux.HandleFunc("GET /tenants", s.handleTenantList)
+	mux.HandleFunc("POST /tenants", s.handleTenantCreate)
+	mux.HandleFunc("DELETE /tenants/{id}", s.handleTenantDelete)
+	mux.HandleFunc("POST /tenants/{id}/ingest", s.handleIngest)
+	mux.HandleFunc("GET /tenants/{id}/mrc", s.handleMRC)
+	mux.HandleFunc("GET /tenants/{id}/curve", s.handleCurve)
+	mux.HandleFunc("GET /tenants/{id}/stats", s.handleStats)
+	mux.HandleFunc("GET /allocate", s.handleAllocate)
+	// Single-tenant aliases.
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /mrc", s.handleMRC)
+	mux.HandleFunc("GET /curve", s.handleCurve)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	// Process-wide.
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -167,6 +246,77 @@ func (s *server) routes() *http.ServeMux {
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// tenantID resolves the tenant a request addresses: the {id} path
+// value, or the default tenant on the legacy routes.
+func tenantID(r *http.Request) string {
+	if id := r.PathValue("id"); id != "" {
+		return id
+	}
+	return defaultTenant
+}
+
+// tenantSpec is the POST /tenants body.
+type tenantSpec struct {
+	ID          string  `json:"id"`
+	Model       string  `json:"model"`
+	K           int     `json:"k"`
+	Seed        uint64  `json:"seed"`
+	Rate        float64 `json:"rate"`
+	Workers     int     `json:"workers"`
+	Bytes       string  `json:"bytes"`
+	BucketRatio float64 `json:"bucket_ratio"`
+}
+
+func (s *server) handleTenantCreate(w http.ResponseWriter, r *http.Request) {
+	var spec tenantSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, fmt.Sprintf("bad spec: %v", err), http.StatusBadRequest)
+		return
+	}
+	if spec.ID == "" {
+		http.Error(w, "missing tenant id", http.StatusBadRequest)
+		return
+	}
+	mode, ok := model.ByteModeByName(spec.Bytes)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown byte mode %q", spec.Bytes), http.StatusBadRequest)
+		return
+	}
+	_, err := s.reg.Create(spec.ID, fleet.Spec{
+		Model: spec.Model,
+		Options: model.Options{
+			K: spec.K, Seed: spec.Seed, SamplingRate: spec.Rate,
+			Bytes: mode, Workers: spec.Workers, BucketRatio: spec.BucketRatio,
+		},
+	})
+	if errors.Is(err, fleet.ErrTenantExists) {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	fmt.Fprintf(w, "{\"id\": %q}\n", spec.ID)
+}
+
+func (s *server) handleTenantList(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"tenants":         s.reg.List(),
+		"footprint_bytes": s.reg.Footprint(),
+	})
+}
+
+func (s *server) handleTenantDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.reg.Evict(r.PathValue("id")) {
+		http.Error(w, "no such tenant", http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // ndjsonReq is one ingest line. Key accepts either a JSON number (used
@@ -209,63 +359,44 @@ func (n ndjsonReq) request() (trace.Request, error) {
 	return req, fmt.Errorf("key %s is neither integer nor string", n.Key)
 }
 
-func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	var reader trace.Reader
+// bodyReader adapts an ingest body (binary or NDJSON) to trace.Reader.
+func bodyReader(r *http.Request) (trace.Reader, error) {
 	if r.Header.Get("Content-Type") == "application/octet-stream" {
-		br, err := trace.NewBinaryReader(r.Body)
-		if err != nil {
-			s.ingestErrs.Inc()
-			http.Error(w, fmt.Sprintf("bad binary trace: %v", err), http.StatusBadRequest)
-			return
-		}
-		reader = br
-	} else {
-		dec := json.NewDecoder(r.Body)
-		line := 0
-		reader = trace.FuncReader(func() (trace.Request, error) {
-			line++
-			var n ndjsonReq
-			if err := dec.Decode(&n); err != nil {
-				if errors.Is(err, io.EOF) {
-					return trace.Request{}, io.EOF
-				}
-				return trace.Request{}, fmt.Errorf("line %d: %w", line, err)
-			}
-			req, err := n.request()
-			if err != nil {
-				return trace.Request{}, fmt.Errorf("line %d: %w", line, err)
-			}
-			return req, nil
-		})
+		return trace.NewBinaryReader(r.Body)
 	}
+	dec := json.NewDecoder(r.Body)
+	line := 0
+	return trace.FuncReader(func() (trace.Request, error) {
+		line++
+		var n ndjsonReq
+		if err := dec.Decode(&n); err != nil {
+			if errors.Is(err, io.EOF) {
+				return trace.Request{}, io.EOF
+			}
+			return trace.Request{}, fmt.Errorf("line %d: %w", line, err)
+		}
+		req, err := n.request()
+		if err != nil {
+			return trace.Request{}, fmt.Errorf("line %d: %w", line, err)
+		}
+		return req, nil
+	}), nil
+}
 
-	s.mu.Lock()
-	if s.final {
-		s.mu.Unlock()
-		http.Error(w, "model is finalized", http.StatusConflict)
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.final.Load() {
+		http.Error(w, "server is finalized", http.StatusConflict)
 		return
 	}
-	var count uint64
-	var err error
-	for {
-		var req trace.Request
-		req, err = reader.Next()
-		if err != nil {
-			break
-		}
-		if perr := s.model.Process(req); perr != nil {
-			err = perr
-			break
-		}
-		count++
+	reader, err := bodyReader(r)
+	if err != nil {
+		s.ingestErrs.Inc()
+		http.Error(w, fmt.Sprintf("bad binary trace: %v", err), http.StatusBadRequest)
+		return
 	}
-	s.mu.Unlock()
+	count, err := s.reg.Ingest(tenantID(r), reader)
 	s.ingests.Add(count)
-	if !errors.Is(err, io.EOF) {
+	if err != nil {
 		s.ingestErrs.Inc()
 		http.Error(w, fmt.Sprintf("ingest stopped after %d requests: %v", count, err),
 			http.StatusBadRequest)
@@ -275,16 +406,28 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "{\"ingested\": %d}\n", count)
 }
 
-// snapshot takes a consistent live snapshot under the server lock.
-func (s *server) snapshot() model.Snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// snapshot reads a tenant's live curves, serving 404 for unknown ids
+// (the legacy default tenant is auto-created instead, so pre-ingest
+// reads keep returning the empty curve as before).
+func (s *server) snapshot(w http.ResponseWriter, r *http.Request) (model.Snapshot, bool) {
+	id := tenantID(r)
+	if id == defaultTenant {
+		if _, err := s.reg.Ensure(id); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return model.Snapshot{}, false
+		}
+	}
+	snap, err := s.reg.Snapshot(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return model.Snapshot{}, false
+	}
 	s.snapshots.Inc()
-	return s.model.Snapshot()
+	return snap, true
 }
 
 // curveFrom picks the requested granularity out of a snapshot.
-func (s *server) curveFrom(snap model.Snapshot, r *http.Request) (*mrc.Curve, error) {
+func curveFrom(snap model.Snapshot, r *http.Request) (*mrc.Curve, error) {
 	switch unit := r.URL.Query().Get("unit"); unit {
 	case "", "objects":
 		return snap.Object, nil
@@ -305,8 +448,11 @@ func (s *server) handleMRC(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad size %q: %v", sizeStr, err), http.StatusBadRequest)
 		return
 	}
-	snap := s.snapshot()
-	c, err := s.curveFrom(snap, r)
+	snap, ok := s.snapshot(w, r)
+	if !ok {
+		return
+	}
+	c, err := curveFrom(snap, r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -317,8 +463,11 @@ func (s *server) handleMRC(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleCurve(w http.ResponseWriter, r *http.Request) {
-	snap := s.snapshot()
-	c, err := s.curveFrom(snap, r)
+	snap, ok := s.snapshot(w, r)
+	if !ok {
+		return
+	}
+	c, err := curveFrom(snap, r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -338,33 +487,106 @@ func (s *server) handleCurve(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	st := s.model.Stats()
-	s.mu.Unlock()
+	id := tenantID(r)
+	if id == defaultTenant {
+		if _, err := s.reg.Ensure(id); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	ten, ok := s.reg.Get(id)
+	if !ok {
+		http.Error(w, "no such tenant", http.StatusNotFound)
+		return
+	}
+	st := ten.Stats()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
-		"seen":           st.Seen,
-		"sampled":        st.Sampled,
-		"finalized":      st.Finalized,
-		"uptime_seconds": time.Since(s.start).Seconds(),
+		"tenant":          id,
+		"seen":            st.Seen,
+		"sampled":         st.Sampled,
+		"finalized":       st.Finalized,
+		"footprint_bytes": ten.Footprint(),
+		"uptime_seconds":  time.Since(s.start).Seconds(),
 	})
 }
 
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleAllocate(w http.ResponseWriter, r *http.Request) {
+	budgetStr := r.URL.Query().Get("budget")
+	budget, err := strconv.ParseUint(budgetStr, 10, 64)
+	if err != nil || budget == 0 {
+		http.Error(w, fmt.Sprintf("bad budget %q (want a positive integer)", budgetStr), http.StatusBadRequest)
+		return
+	}
+	unit := r.URL.Query().Get("unit")
+	if unit == "" {
+		unit = "objects"
+	}
+	if unit != "objects" && unit != "bytes" {
+		http.Error(w, fmt.Sprintf("unknown unit %q (want objects or bytes)", unit), http.StatusBadRequest)
+		return
+	}
+	demands, err := s.reg.Demands(unit)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	plan, err := s.reg.Allocate(budget, unit)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := plan.Feasible(); err != nil {
+		http.Error(w, fmt.Sprintf("internal: %v", err), http.StatusInternalServerError)
+		return
+	}
+	prop := fleet.ProportionalSplit(demands, budget)
+	uni := fleet.UniformSplit(demands, budget)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"waterfill": plan,
+		"baselines": map[string]any{
+			"proportional": prop,
+			"uniform":      uni,
+		},
+	})
+}
+
+// handleMetrics renders the server and fleet metrics unlabeled, then
+// every tenant's set labeled tenant="id". HELP/TYPE headers are
+// deduplicated across tenants so the document stays valid.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	if err := s.set.WritePrometheus(w); err != nil {
 		log.Printf("krrserve: metrics write: %v", err)
+		return
+	}
+	infos := s.reg.List()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	seen := make(map[string]bool)
+	for _, info := range infos {
+		ten, ok := s.reg.Get(info.ID)
+		if !ok {
+			continue
+		}
+		labels := fmt.Sprintf("tenant=%q", telemetry.EscapeLabelValue(info.ID))
+		if err := ten.Set().WritePrometheusLabeled(w, labels, seen); err != nil {
+			log.Printf("krrserve: metrics write: %v", err)
+			return
+		}
 	}
 }
 
-// writeFinal finalizes the model and writes the finished curve JSON to
-// path ("" or "-" = stdout). By the snapshot contract this equals the
-// last snapshot bit-for-bit if no requests arrived in between.
+// writeFinal finalizes ingest and writes the default tenant's finished
+// curve JSON to path ("" or "-" = stdout). By the snapshot contract
+// this equals the last snapshot bit-for-bit if no requests arrived in
+// between.
 func (s *server) writeFinal(path string) error {
-	s.mu.Lock()
-	s.final = true
-	c := s.model.ObjectMRC()
-	s.mu.Unlock()
+	s.final.Store(true)
+	c := &mrc.Curve{Sizes: []uint64{0}, Miss: []float64{1}, Interp: mrc.InterpStep}
+	if snap, err := s.reg.Snapshot(defaultTenant); err == nil && snap.Object != nil {
+		c = snap.Object
+	}
 	out := os.Stdout
 	if path != "" && path != "-" {
 		f, err := os.Create(path)

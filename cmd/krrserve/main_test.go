@@ -6,9 +6,13 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
+	"krr/internal/fleet"
 	"krr/internal/model"
 	"krr/internal/mrc"
 	"krr/internal/trace"
@@ -17,7 +21,12 @@ import (
 
 func testServer(t *testing.T, opts model.Options) (*server, *httptest.Server) {
 	t.Helper()
-	s, err := newServer("krr", opts)
+	return testServerCfg(t, fleet.Config{Default: fleet.Spec{Model: "krr", Options: opts}})
+}
+
+func testServerCfg(t *testing.T, cfg fleet.Config) (*server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,6 +48,20 @@ func post(t *testing.T, url, contentType, body string) *http.Response {
 func get(t *testing.T, url string) *http.Response {
 	t.Helper()
 	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func del(t *testing.T, url string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,13 +209,39 @@ func TestMetricsExposition(t *testing.T) {
 	body := buf.String()
 	for _, want := range []string{
 		"krrserve_ingest_requests_total 2",
-		"krr_model_requests_seen_total 2",
-		"krr_model_stack_len",
+		"krr_model_requests_seen_total{tenant=\"default\"} 2",
+		"krr_model_stack_len{tenant=\"default\"}",
+		"tenant_requests_total{tenant=\"default\"} 2",
+		"fleet_tenants 1",
+		"fleet_footprint_bytes",
 		"# TYPE krrserve_uptime_seconds gauge",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/metrics missing %q in:\n%s", want, body)
 		}
+	}
+}
+
+// TestMetricsLabelsPerTenant checks that tenant metric families appear
+// once per tenant, with HELP/TYPE headers deduplicated across tenants.
+func TestMetricsLabelsPerTenant(t *testing.T) {
+	_, ts := testServer(t, model.Options{K: 4, Seed: 1})
+	post(t, ts.URL+"/tenants/a/ingest", "application/x-ndjson", "{\"key\": 1}\n")
+	post(t, ts.URL+"/tenants/b/ingest", "application/x-ndjson", "{\"key\": 1}\n{\"key\": 2}\n")
+	var buf bytes.Buffer
+	buf.ReadFrom(get(t, ts.URL+"/metrics").Body)
+	body := buf.String()
+	for _, want := range []string{
+		"tenant_requests_total{tenant=\"a\"} 1",
+		"tenant_requests_total{tenant=\"b\"} 2",
+		"fleet_tenants 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+	if n := strings.Count(body, "# TYPE tenant_requests_total"); n != 1 {
+		t.Fatalf("TYPE header for tenant_requests_total appears %d times, want 1:\n%s", n, body)
 	}
 }
 
@@ -229,12 +278,16 @@ func TestStatsAndHealth(t *testing.T) {
 	var st struct {
 		Seen      uint64 `json:"seen"`
 		Finalized bool   `json:"finalized"`
+		Footprint int64  `json:"footprint_bytes"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
 	if st.Seen != 1 || st.Finalized {
 		t.Fatalf("stats = %+v", st)
+	}
+	if st.Footprint <= 0 {
+		t.Fatalf("footprint %d, want > 0", st.Footprint)
 	}
 	if resp := get(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
 		t.Fatalf("/healthz status %d", resp.StatusCode)
@@ -255,15 +308,15 @@ func TestFinalCurveMatchesLastSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	var buf bytes.Buffer
-	s.mu.Lock()
-	s.final = true
-	finalCurve := s.model.ObjectMRC()
-	s.mu.Unlock()
-	if err := finalCurve.WriteJSON(&buf); err != nil {
+	finalPath := filepath.Join(t.TempDir(), "final.json")
+	if err := s.writeFinal(finalPath); err != nil {
 		t.Fatal(err)
 	}
-	fin, err := mrc.ReadJSON(&buf)
+	data, err := os.ReadFile(finalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := mrc.ReadJSON(bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,9 +329,197 @@ func TestFinalCurveMatchesLastSnapshot(t *testing.T) {
 		}
 	}
 
-	// Ingest after finalization is refused, not crashed.
+	// Ingest after finalization is refused, not crashed — on every
+	// tenant, not just the default.
 	resp = post(t, ts.URL+"/ingest", "application/x-ndjson", "{\"key\": 1}\n")
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("post-final ingest status %d, want 409", resp.StatusCode)
+	}
+	resp = post(t, ts.URL+"/tenants/other/ingest", "application/x-ndjson", "{\"key\": 1}\n")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("post-final tenant ingest status %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestTenantLifecycle(t *testing.T) {
+	_, ts := testServer(t, model.Options{K: 4, Seed: 1})
+
+	// Explicit create with a non-default model spec.
+	resp := post(t, ts.URL+"/tenants", "application/json",
+		`{"id": "t1", "model": "krr-bucket", "k": 5, "seed": 7}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", resp.StatusCode)
+	}
+	// Duplicate id conflicts.
+	resp = post(t, ts.URL+"/tenants", "application/json", `{"id": "t1"}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate create status %d, want 409", resp.StatusCode)
+	}
+	// Bad specs are rejected.
+	for _, body := range []string{
+		`{"model": "krr"}`,                   // missing id
+		`{"id": "x", "model": "nope"}`,       // unknown model
+		`{"id": "x", "bytes": "frobnicate"}`, // unknown byte mode
+		`not json`,
+	} {
+		resp = post(t, ts.URL+"/tenants", "application/json", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("spec %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	// Ingest into the created tenant, auto-create another.
+	var b strings.Builder
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&b, "{\"key\": %d}\n", i%80)
+	}
+	if resp := post(t, ts.URL+"/tenants/t1/ingest", "application/x-ndjson", b.String()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("t1 ingest status %d", resp.StatusCode)
+	}
+	if resp := post(t, ts.URL+"/tenants/t2/ingest", "application/x-ndjson", b.String()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("t2 ingest status %d", resp.StatusCode)
+	}
+
+	// List shows both with footprints.
+	var listing struct {
+		Tenants   []fleet.TenantInfo `json:"tenants"`
+		Footprint int64              `json:"footprint_bytes"`
+	}
+	if err := json.NewDecoder(get(t, ts.URL+"/tenants").Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Tenants) != 2 {
+		t.Fatalf("listed %d tenants, want 2", len(listing.Tenants))
+	}
+	if listing.Tenants[0].ID != "t1" || listing.Tenants[0].Model != "krr-bucket" {
+		t.Fatalf("tenant rows wrong: %+v", listing.Tenants)
+	}
+	if listing.Footprint <= 0 {
+		t.Fatalf("fleet footprint %d, want > 0", listing.Footprint)
+	}
+
+	// Tenant-scoped curve and mrc.
+	resp = get(t, ts.URL+"/tenants/t1/mrc?size=40")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("t1 /mrc status %d", resp.StatusCode)
+	}
+	c, err := mrc.ReadJSON(get(t, ts.URL+"/tenants/t2/curve").Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() < 2 || c.Eval(0) != 1 {
+		t.Fatal("t2 curve malformed")
+	}
+	// Unknown tenants 404 on reads instead of auto-creating.
+	if resp := get(t, ts.URL+"/tenants/ghost/curve"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost curve status %d, want 404", resp.StatusCode)
+	}
+
+	// Delete removes exactly once.
+	if resp := del(t, ts.URL+"/tenants/t1"); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	if resp := del(t, ts.URL+"/tenants/t1"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestFleetSmoke is the check.sh fleet-smoke stage: three tenants with
+// distinct workload shapes, one shared budget, and the /allocate plan
+// must be budget-feasible, monotone in budget, and deterministic.
+func TestFleetSmoke(t *testing.T) {
+	_, ts := testServer(t, model.Options{K: 4, Seed: 1})
+
+	ndjson := func(r trace.Reader, n int) string {
+		var b strings.Builder
+		lim := trace.LimitReader(r, n)
+		for {
+			req, err := lim.Next()
+			if err != nil {
+				break
+			}
+			fmt.Fprintf(&b, "{\"key\": %d}\n", req.Key)
+		}
+		return b.String()
+	}
+	hot := workload.NewZipf(1, 300, 0.9, nil, 0)
+	broad := workload.NewUniform(2, 5000, nil)
+	broad.SetKeySpace(1 << 40)
+	loop := workload.NewLoop(800, nil)
+	loop.SetKeySpace(2 << 40)
+	for id, body := range map[string]string{
+		"hot":   ndjson(hot, 20000),
+		"broad": ndjson(broad, 20000),
+		"loop":  ndjson(loop, 20000),
+	} {
+		resp := post(t, ts.URL+"/tenants/"+id+"/ingest", "application/x-ndjson", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s ingest status %d", id, resp.StatusCode)
+		}
+	}
+
+	type allocResp struct {
+		Waterfill fleet.Plan `json:"waterfill"`
+		Baselines struct {
+			Proportional fleet.Plan `json:"proportional"`
+			Uniform      fleet.Plan `json:"uniform"`
+		} `json:"baselines"`
+	}
+	fetch := func(budget int) allocResp {
+		t.Helper()
+		resp := get(t, fmt.Sprintf("%s/allocate?budget=%d", ts.URL, budget))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/allocate status %d", resp.StatusCode)
+		}
+		var out allocResp
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	a := fetch(3000)
+	if err := a.Waterfill.Feasible(); err != nil {
+		t.Fatalf("waterfill plan infeasible: %v", err)
+	}
+	if len(a.Waterfill.Allocations) != 3 {
+		t.Fatalf("allocations = %d, want 3", len(a.Waterfill.Allocations))
+	}
+	if a.Waterfill.AggregateMiss > a.Baselines.Proportional.AggregateMiss+1e-12 {
+		t.Fatalf("waterfill %v worse than proportional %v",
+			a.Waterfill.AggregateMiss, a.Baselines.Proportional.AggregateMiss)
+	}
+	if a.Waterfill.AggregateMiss > a.Baselines.Uniform.AggregateMiss+1e-12 {
+		t.Fatalf("waterfill %v worse than uniform %v",
+			a.Waterfill.AggregateMiss, a.Baselines.Uniform.AggregateMiss)
+	}
+
+	// Monotone: more budget never predicts more aggregate misses.
+	last := 2.0
+	for _, budget := range []int{500, 1000, 2000, 4000} {
+		p := fetch(budget).Waterfill
+		if err := p.Feasible(); err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if p.AggregateMiss > last+1e-12 {
+			t.Fatalf("aggregate miss rose with budget at %d: %v after %v", budget, p.AggregateMiss, last)
+		}
+		last = p.AggregateMiss
+	}
+
+	// Deterministic for a fixed trace set.
+	if b := fetch(3000); !reflect.DeepEqual(a, b) {
+		t.Fatalf("allocation not deterministic:\n%+v\n%+v", a, b)
+	}
+
+	// Bad queries are rejected.
+	for _, q := range []string{"/allocate", "/allocate?budget=0", "/allocate?budget=x", "/allocate?budget=10&unit=parsecs"} {
+		if resp := get(t, ts.URL+q); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s status %d, want 400", q, resp.StatusCode)
+		}
+	}
+	// Byte budgets need byte-capable models.
+	if resp := get(t, ts.URL+"/allocate?budget=1000000&unit=bytes"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bytes allocate on object-only models: status %d, want 400", resp.StatusCode)
 	}
 }

@@ -87,6 +87,13 @@ func (m *Monitor) ProcessAll(r trace.Reader) error {
 // References returns the number of sampled references.
 func (m *Monitor) References() uint64 { return m.reuses + m.cold }
 
+// MemoryOverheadBytes estimates the monitor's resident metadata: the
+// last-seen map plus the reuse-time histogram.
+func (m *Monitor) MemoryOverheadBytes() uint64 {
+	const perEntry = 48 // map entry: key + value + bucket overhead
+	return uint64(len(m.lastSeen))*perEntry + m.hist.MemBytes()
+}
+
 // MRC solves the AET equation across the reuse-time histogram and
 // returns the modeled exact-LRU miss ratio curve over object-count
 // cache sizes.

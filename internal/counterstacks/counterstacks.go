@@ -191,6 +191,13 @@ func (s *Stack) Counters() int { return len(s.counters) }
 // Seen returns the number of processed requests.
 func (s *Stack) Seen() uint64 { return s.seen }
 
+// MemoryOverheadBytes estimates the model's resident metadata: the HLL
+// register arrays (the dominant term) plus the histogram.
+func (s *Stack) MemoryOverheadBytes() uint64 {
+	const perCounter = hllRegisters + 16 // registers + lastCount + pointer
+	return uint64(len(s.counters))*perCounter + s.hist.MemBytes()
+}
+
 // MRC returns the modeled exact-LRU miss ratio curve.
 func (s *Stack) MRC() *mrc.Curve {
 	return mrc.FromHistogram(s.hist, 1)

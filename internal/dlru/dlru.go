@@ -12,8 +12,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"sync/atomic"
 
 	"krr/internal/core"
+	"krr/internal/telemetry"
 	"krr/internal/trace"
 )
 
@@ -29,6 +32,10 @@ type Tunable interface {
 type Decision struct {
 	// AtRequest is the request count when the decision was taken.
 	AtRequest uint64
+	// BudgetObjects is the cache budget the candidates were compared
+	// at — it can change between decisions when a fleet allocation
+	// retargets the controller.
+	BudgetObjects uint64
 	// ChosenK is the selected sampling size.
 	ChosenK int
 	// Predicted maps each candidate K to its predicted miss ratio.
@@ -84,13 +91,29 @@ func (c *Config) fill() error {
 
 // Controller shadows a request stream with one KRR profiler per
 // candidate K and periodically reconfigures the attached cache.
+//
+// Process and the decision log are single-caller, like every serial
+// model in this repository. The controller *state* the outside world
+// cares about — current K, the budget in force, the last decision's
+// position and outcome — lives in atomics and is exported through
+// MetricsInto, so a /metrics scrape (or a fleet supervisor) reads it
+// race-free while the stream runs. SetBudgetObjects is likewise safe
+// to call from another goroutine: fleet allocations retarget a live
+// controller without pausing it.
 type Controller struct {
 	cfg       Config
 	cache     Tunable // may be nil (advisory mode)
 	profilers map[int]*core.Profiler
 	count     uint64
-	currentK  int
 	decisions []Decision
+
+	// Cross-goroutine state: see the struct comment.
+	budget        atomic.Uint64
+	currentK      atomic.Int64
+	lastDecision  atomic.Uint64 // request count of the last decision
+	lastPredicted atomic.Uint64 // Float64bits of the chosen K's miss
+	decided       telemetry.Counter
+	switched      telemetry.Counter
 }
 
 // New builds a controller driving cache (nil for advisory-only use).
@@ -108,15 +131,31 @@ func New(cfg Config, cache Tunable) (*Controller, error) {
 		}
 		ctl.profilers[k] = p
 	}
-	ctl.currentK = cfg.Candidates[0]
+	ctl.budget.Store(cfg.BudgetObjects)
+	ctl.currentK.Store(int64(cfg.Candidates[0]))
 	if cache != nil {
-		cache.SetSamplingSize(ctl.currentK)
+		cache.SetSamplingSize(cfg.Candidates[0])
 	}
 	return ctl, nil
 }
 
-// CurrentK returns the sampling size currently in force.
-func (c *Controller) CurrentK() int { return c.currentK }
+// CurrentK returns the sampling size currently in force (safe from any
+// goroutine).
+func (c *Controller) CurrentK() int { return int(c.currentK.Load()) }
+
+// BudgetObjects returns the cache budget decisions are evaluated at.
+func (c *Controller) BudgetObjects() uint64 { return c.budget.Load() }
+
+// SetBudgetObjects retargets the controller to a new cache budget —
+// the fleet-allocation hook. Safe to call while Process streams on
+// another goroutine; the next window's decision compares candidates at
+// the new budget.
+func (c *Controller) SetBudgetObjects(n uint64) {
+	if n == 0 {
+		return
+	}
+	c.budget.Store(n)
+}
 
 // Decisions returns the decision log.
 func (c *Controller) Decisions() []Decision { return c.decisions }
@@ -124,11 +163,33 @@ func (c *Controller) Decisions() []Decision { return c.decisions }
 // Predictions returns each candidate's current predicted miss ratio
 // at the configured budget.
 func (c *Controller) Predictions() map[int]float64 {
+	budget := c.budget.Load()
 	out := make(map[int]float64, len(c.profilers))
 	for k, p := range c.profilers {
-		out[k] = p.ObjectMRC().Eval(c.cfg.BudgetObjects)
+		out[k] = p.ObjectMRC().Eval(budget)
 	}
 	return out
+}
+
+// MetricsInto registers the controller's observable state under
+// prefix — the one observability surface both the single-cache CLI
+// path and the fleet layer read. All values are atomics, safe to
+// scrape mid-stream.
+func (c *Controller) MetricsInto(set *telemetry.Set, prefix string) {
+	set.GaugeFunc(prefix+"current_k", "sampling size currently in force", func() float64 {
+		return float64(c.currentK.Load())
+	})
+	set.GaugeFunc(prefix+"budget_objects", "cache budget decisions are evaluated at", func() float64 {
+		return float64(c.budget.Load())
+	})
+	set.GaugeFunc(prefix+"last_decision_request", "request count of the last decision", func() float64 {
+		return float64(c.lastDecision.Load())
+	})
+	set.GaugeFunc(prefix+"last_predicted_miss", "chosen K's predicted miss at the last decision", func() float64 {
+		return math.Float64frombits(c.lastPredicted.Load())
+	})
+	set.CounterFunc(prefix+"decisions_total", "window decisions taken", c.decided.Load)
+	set.CounterFunc(prefix+"switches_total", "decisions that reconfigured the cache", c.switched.Load)
 }
 
 // Process forwards one request to the live cache (if any) and the
@@ -165,24 +226,31 @@ func (c *Controller) ProcessAll(r trace.Reader) error {
 
 func (c *Controller) decide() {
 	pred := c.Predictions()
-	bestK, bestMiss := c.currentK, pred[c.currentK]
+	current := int(c.currentK.Load())
+	bestK, bestMiss := current, pred[current]
 	for _, k := range c.cfg.Candidates {
 		if pred[k] < bestMiss {
 			bestK, bestMiss = k, pred[k]
 		}
 	}
 	switched := false
-	if bestK != c.currentK && pred[c.currentK]-bestMiss > c.cfg.MinImprovement {
-		c.currentK = bestK
+	if bestK != current && pred[current]-bestMiss > c.cfg.MinImprovement {
+		current = bestK
+		c.currentK.Store(int64(bestK))
 		if c.cache != nil {
 			c.cache.SetSamplingSize(bestK)
 		}
 		switched = true
+		c.switched.Inc()
 	}
+	c.decided.Inc()
+	c.lastDecision.Store(c.count)
+	c.lastPredicted.Store(math.Float64bits(pred[current]))
 	c.decisions = append(c.decisions, Decision{
-		AtRequest: c.count,
-		ChosenK:   c.currentK,
-		Predicted: pred,
-		Switched:  switched,
+		AtRequest:     c.count,
+		BudgetObjects: c.budget.Load(),
+		ChosenK:       current,
+		Predicted:     pred,
+		Switched:      switched,
 	})
 }

@@ -1,9 +1,12 @@
 package dlru
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 
 	"krr/internal/simulator"
+	"krr/internal/telemetry"
 	"krr/internal/trace"
 	"krr/internal/workload"
 )
@@ -163,5 +166,74 @@ func TestAdaptiveBeatsWorstFixedK(t *testing.T) {
 	worstFixed := run(32, false)
 	if adaptiveMiss >= worstFixed-0.02 {
 		t.Fatalf("adaptive %v did not beat worst fixed K=32 %v", adaptiveMiss, worstFixed)
+	}
+}
+
+func TestSetBudgetObjectsRetargetsDecisions(t *testing.T) {
+	ctl, err := New(Config{
+		BudgetObjects: 50,
+		Candidates:    []int{1, 32},
+		Window:        5_000,
+		SamplingRate:  1,
+		Seed:          1,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewZipf(1, 2000, 0.9, nil, 0)
+	if err := ctl.ProcessAll(trace.LimitReader(gen, 5_000)); err != nil {
+		t.Fatal(err)
+	}
+	ctl.SetBudgetObjects(800)
+	if ctl.BudgetObjects() != 800 {
+		t.Fatalf("budget = %d, want 800", ctl.BudgetObjects())
+	}
+	ctl.SetBudgetObjects(0) // ignored: zero budget is meaningless
+	if ctl.BudgetObjects() != 800 {
+		t.Fatalf("zero SetBudgetObjects overwrote the budget")
+	}
+	if err := ctl.ProcessAll(trace.LimitReader(gen, 5_000)); err != nil {
+		t.Fatal(err)
+	}
+	dec := ctl.Decisions()
+	if len(dec) != 2 {
+		t.Fatalf("decisions = %d, want 2", len(dec))
+	}
+	if dec[0].BudgetObjects != 50 || dec[1].BudgetObjects != 800 {
+		t.Fatalf("decision budgets = %d, %d; want 50, 800", dec[0].BudgetObjects, dec[1].BudgetObjects)
+	}
+}
+
+func TestControllerMetrics(t *testing.T) {
+	cache := simulator.NewKLRU(simulator.ObjectCapacity(64), 1, true, 1)
+	ctl, err := New(Config{
+		BudgetObjects: 64,
+		Candidates:    []int{1, 8},
+		Window:        2_000,
+		SamplingRate:  1,
+		Seed:          1,
+	}, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := telemetry.NewSet()
+	ctl.MetricsInto(set, "dlru_")
+	gen := workload.NewZipf(2, 500, 1.0, nil, 0)
+	if err := ctl.ProcessAll(trace.LimitReader(gen, 10_000)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"dlru_current_k ", "dlru_budget_objects 64",
+		"dlru_decisions_total 5", "dlru_last_decision_request 10000",
+		"dlru_last_predicted_miss ", "dlru_switches_total ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
 	}
 }

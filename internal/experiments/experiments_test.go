@@ -25,7 +25,7 @@ func tinyOpts() Options {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"ablation.kprime", "ablation.redis-sampling", "ablation.replacement", "ablation.sizearray",
-		"ext.aet-crossover", "ext.dlru", "ext.lru-baselines", "ext.minisim", "ext.opt-bound", "ext.policies",
+		"ext.aet-crossover", "ext.dlru", "ext.fleet", "ext.lru-baselines", "ext.minisim", "ext.opt-bound", "ext.policies",
 		"fig1.1", "fig5.1", "fig5.2", "fig5.3", "fig5.4", "fig5.5",
 		"space", "table5.1", "table5.2", "table5.3", "table5.4",
 	}
@@ -325,7 +325,7 @@ func TestAblations(t *testing.T) {
 }
 
 func TestExtensions(t *testing.T) {
-	for _, id := range []string{"ext.aet-crossover", "ext.minisim", "ext.policies", "ext.dlru", "ext.lru-baselines", "ext.opt-bound"} {
+	for _, id := range []string{"ext.aet-crossover", "ext.minisim", "ext.policies", "ext.dlru", "ext.fleet", "ext.lru-baselines", "ext.opt-bound"} {
 		runOne(t, id)
 	}
 }
@@ -354,6 +354,40 @@ func TestExtDLRUAdaptiveCompetitive(t *testing.T) {
 	}
 	if adaptive > best+0.05 {
 		t.Fatalf("adaptive %v much worse than best fixed %v", adaptive, best)
+	}
+}
+
+func TestExtFleetWaterfillWins(t *testing.T) {
+	res, err := Run("ext.fleet", tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 4 is the predicted aggregate miss; the waterfill row must
+	// be at or below both baselines.
+	rows := res.Tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	miss := map[string]float64{}
+	for _, row := range rows {
+		v, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		miss[row[0]] = v
+	}
+	wf, ok := miss["waterfill"]
+	if !ok {
+		t.Fatalf("no waterfill row in %v", rows)
+	}
+	for _, base := range []string{"proportional", "uniform"} {
+		v, ok := miss[base]
+		if !ok {
+			t.Fatalf("no %s row in %v", base, rows)
+		}
+		if wf > v+1e-9 {
+			t.Fatalf("waterfill predicted %v worse than %s %v", wf, base, v)
+		}
 	}
 }
 

@@ -1,0 +1,500 @@
+// Package fleet is the multi-tenant hosting layer over the model
+// registry: the piece that turns one-trace MRC construction into a
+// cache-fleet advisor. It owns a concurrency-safe tenant registry
+// (per-tenant model choice, sampling rate and bucket ratio via
+// model.Options, per-tenant telemetry), enforces a strict global
+// memory budget from model footprint accounting, and partitions a
+// shared cache budget across tenants by marginal miss-ratio gain
+// (allocate.go).
+//
+// Locking: the registry RWMutex guards only the tenant map; each
+// tenant's mutex serializes access to its (serial) model. No path
+// acquires the registry lock while holding a tenant lock, so the two
+// levels cannot deadlock. Footprints are cached in per-tenant atomics
+// after each ingest, making budget checks and /metrics scrapes pure
+// atomic reads. A tenant evicted while another goroutine is mid-ingest
+// into it is merely orphaned: the ingest completes into a model no
+// longer counted or reachable, and the arena is collected when the
+// ingest returns.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"krr/internal/model"
+	"krr/internal/telemetry"
+	"krr/internal/trace"
+)
+
+// ErrNoTenant is returned for operations on unknown tenant ids.
+var ErrNoTenant = errors.New("fleet: no such tenant")
+
+// ErrTenantExists is returned by Create for a taken id.
+var ErrTenantExists = errors.New("fleet: tenant exists")
+
+// Spec is a tenant's model choice.
+type Spec struct {
+	// Model is a model-registry name or alias ("krr", "krr-bucket",
+	// "olken", ...).
+	Model string
+	// Options configure the model (K, seed, sampling rate, byte mode,
+	// workers, bucket ratio).
+	Options model.Options
+}
+
+// Config shapes a Registry.
+type Config struct {
+	// Default is the spec used when ingest auto-creates a tenant.
+	// Zero value means {"krr", defaults}.
+	Default Spec
+	// MemoryBudgetBytes caps the summed model footprints; exceeding it
+	// evicts least-recently-used tenants. 0 means unlimited.
+	MemoryBudgetBytes int64
+	// MaxTenants caps the tenant count; creating past it evicts the
+	// least-recently-used tenant. 0 means unlimited.
+	MaxTenants int
+	// IdleTTL is the idle horizon for SweepIdle. 0 disables sweeping.
+	IdleTTL time.Duration
+	// Clock supplies time (tests inject a fake). Nil means time.Now.
+	Clock func() time.Time
+}
+
+func (c *Config) fill() {
+	if c.Default.Model == "" {
+		c.Default.Model = "krr"
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+}
+
+// Tenant is one hosted shadow model.
+type Tenant struct {
+	// ID is the registry key.
+	ID string
+	// Spec is the model choice the tenant was built with.
+	Spec Spec
+
+	// mu serializes model access: serial models tolerate one caller at
+	// a time, and Footprint must not race Process.
+	mu    sync.Mutex
+	model model.Model
+
+	set       *telemetry.Set
+	requests  telemetry.Counter
+	footprint atomic.Int64
+	lastUse   atomic.Int64 // unix nanos
+	created   time.Time
+}
+
+// Set returns the tenant's telemetry set (model metrics under
+// krr_model_, tenant counters under tenant_).
+func (t *Tenant) Set() *telemetry.Set { return t.set }
+
+// Footprint returns the tenant's cached model footprint in bytes
+// (refreshed after every ingest).
+func (t *Tenant) Footprint() int64 { return t.footprint.Load() }
+
+// touch refreshes the LRU clock.
+func (t *Tenant) touch(now time.Time) { t.lastUse.Store(now.UnixNano()) }
+
+// Snapshot reads the tenant's live curves without finalizing.
+func (t *Tenant) Snapshot() model.Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.model.Snapshot()
+}
+
+// Stats reports the tenant's stream counters.
+func (t *Tenant) Stats() model.Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.model.Stats()
+}
+
+// Ingest drains a reader into the tenant's model and refreshes the
+// cached footprint. It returns the number of requests processed.
+func (t *Tenant) Ingest(r trace.Reader) (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	before := t.model.Stats().Seen
+	err := model.ProcessAll(t.model, r)
+	n := t.model.Stats().Seen - before
+	t.requests.Add(n)
+	t.footprint.Store(model.FootprintOf(t.model))
+	return n, err
+}
+
+// close releases model resources (sharded pipelines hold worker
+// goroutines).
+func (t *Tenant) close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.model.(io.Closer); ok {
+		_ = c.Close()
+	}
+}
+
+// TenantInfo is a read-only listing row.
+type TenantInfo struct {
+	ID        string    `json:"id"`
+	Model     string    `json:"model"`
+	Requests  uint64    `json:"requests"`
+	Footprint int64     `json:"footprint_bytes"`
+	Created   time.Time `json:"created"`
+	LastUsed  time.Time `json:"last_used"`
+}
+
+// Registry hosts the tenant fleet.
+type Registry struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+
+	created         telemetry.Counter
+	evictedTTL      telemetry.Counter
+	evictedBudget   telemetry.Counter
+	evictedCapacity telemetry.Counter
+	evictedManual   telemetry.Counter
+	allocations     telemetry.Counter
+}
+
+// NewRegistry builds an empty fleet registry.
+func NewRegistry(cfg Config) *Registry {
+	cfg.fill()
+	return &Registry{cfg: cfg, tenants: make(map[string]*Tenant)}
+}
+
+// newTenant builds a tenant (no locks held).
+func (r *Registry) newTenant(id string, spec Spec) (*Tenant, error) {
+	if spec.Model == "" {
+		spec = r.cfg.Default
+	}
+	m, err := model.New(spec.Model, spec.Options)
+	if err != nil {
+		return nil, err
+	}
+	now := r.cfg.Clock()
+	t := &Tenant{
+		ID:      id,
+		Spec:    spec,
+		model:   m,
+		set:     telemetry.NewSet(),
+		created: now,
+	}
+	t.touch(now)
+	if ms, ok := m.(model.MetricSource); ok {
+		ms.MetricsInto(t.set, "krr_model_")
+	}
+	t.set.CounterFunc("tenant_requests_total", "requests ingested for this tenant", t.requests.Load)
+	t.set.GaugeFunc("tenant_footprint_bytes", "cached model footprint in bytes", func() float64 {
+		return float64(t.footprint.Load())
+	})
+	return t, nil
+}
+
+// Create registers a new tenant with an explicit spec. A zero-Model
+// spec uses the configured default.
+func (r *Registry) Create(id string, spec Spec) (*Tenant, error) {
+	if id == "" {
+		return nil, errors.New("fleet: empty tenant id")
+	}
+	t, err := r.newTenant(id, spec)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if _, dup := r.tenants[id]; dup {
+		r.mu.Unlock()
+		t.close()
+		return nil, fmt.Errorf("%w: %s", ErrTenantExists, id)
+	}
+	r.tenants[id] = t
+	evicted := r.enforceCapacityLocked(id)
+	r.mu.Unlock()
+	r.created.Inc()
+	closeAll(evicted)
+	return t, nil
+}
+
+// Ensure returns the tenant, creating it with the default spec when
+// absent — the ingest-side auto-create path.
+func (r *Registry) Ensure(id string) (*Tenant, error) {
+	r.mu.RLock()
+	t, ok := r.tenants[id]
+	r.mu.RUnlock()
+	if ok {
+		return t, nil
+	}
+	t, err := r.Create(id, r.cfg.Default)
+	if errors.Is(err, ErrTenantExists) {
+		// Lost the create race; the winner's tenant is the one.
+		r.mu.RLock()
+		t, ok = r.tenants[id]
+		r.mu.RUnlock()
+		if ok {
+			return t, nil
+		}
+		return nil, ErrNoTenant
+	}
+	return t, err
+}
+
+// Get looks a tenant up.
+func (r *Registry) Get(id string) (*Tenant, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.tenants[id]
+	return t, ok
+}
+
+// Evict removes a tenant, releasing its model resources.
+func (r *Registry) Evict(id string) bool {
+	r.mu.Lock()
+	t, ok := r.tenants[id]
+	if ok {
+		delete(r.tenants, id)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	r.evictedManual.Inc()
+	t.close()
+	return true
+}
+
+// Len returns the tenant count.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tenants)
+}
+
+// Footprint returns the summed cached footprints of all tenants.
+func (r *Registry) Footprint() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total int64
+	for _, t := range r.tenants {
+		total += t.footprint.Load()
+	}
+	return total
+}
+
+// Ingest drains a reader into the tenant (auto-created when absent),
+// then enforces the global memory budget, evicting idle tenants if the
+// new data pushed the fleet over.
+func (r *Registry) Ingest(id string, reader trace.Reader) (uint64, error) {
+	t, err := r.Ensure(id)
+	if err != nil {
+		return 0, err
+	}
+	t.touch(r.cfg.Clock())
+	n, err := t.Ingest(reader)
+	r.enforceBudget(id)
+	return n, err
+}
+
+// Snapshot reads a tenant's live curves.
+func (r *Registry) Snapshot(id string) (model.Snapshot, error) {
+	t, ok := r.Get(id)
+	if !ok {
+		return model.Snapshot{}, fmt.Errorf("%w: %s", ErrNoTenant, id)
+	}
+	t.touch(r.cfg.Clock())
+	return t.Snapshot(), nil
+}
+
+// List returns tenant rows sorted by id.
+func (r *Registry) List() []TenantInfo {
+	r.mu.RLock()
+	out := make([]TenantInfo, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		out = append(out, TenantInfo{
+			ID:        t.ID,
+			Model:     t.Spec.Model,
+			Requests:  t.requests.Load(),
+			Footprint: t.footprint.Load(),
+			Created:   t.created,
+			LastUsed:  time.Unix(0, t.lastUse.Load()),
+		})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// lruLocked returns the least-recently-used tenant, excluding one
+// protected id ("" protects nothing). Ties break on id so eviction
+// order is deterministic under a frozen clock.
+func (r *Registry) lruLocked(protect string) *Tenant {
+	var victim *Tenant
+	for id, t := range r.tenants {
+		if id == protect {
+			continue
+		}
+		if victim == nil {
+			victim = t
+			continue
+		}
+		lu, lv := t.lastUse.Load(), victim.lastUse.Load()
+		if lu < lv || (lu == lv && t.ID < victim.ID) {
+			victim = t
+		}
+	}
+	return victim
+}
+
+// enforceCapacityLocked evicts LRU tenants past MaxTenants, protecting
+// the just-created id. Caller holds the write lock; returned tenants
+// are closed by the caller after unlocking.
+func (r *Registry) enforceCapacityLocked(protect string) []*Tenant {
+	if r.cfg.MaxTenants <= 0 {
+		return nil
+	}
+	var out []*Tenant
+	for len(r.tenants) > r.cfg.MaxTenants {
+		victim := r.lruLocked(protect)
+		if victim == nil {
+			break
+		}
+		delete(r.tenants, victim.ID)
+		r.evictedCapacity.Inc()
+		out = append(out, victim)
+	}
+	return out
+}
+
+// enforceBudget evicts LRU tenants while the summed footprint exceeds
+// the configured memory budget. The protected id (the tenant that just
+// ingested) survives even if it alone exceeds the budget — evicting
+// the data that was just paid for would make ingest a no-op.
+func (r *Registry) enforceBudget(protect string) {
+	if r.cfg.MemoryBudgetBytes <= 0 {
+		return
+	}
+	var evicted []*Tenant
+	r.mu.Lock()
+	for {
+		var total int64
+		for _, t := range r.tenants {
+			total += t.footprint.Load()
+		}
+		if total <= r.cfg.MemoryBudgetBytes {
+			break
+		}
+		victim := r.lruLocked(protect)
+		if victim == nil {
+			break
+		}
+		delete(r.tenants, victim.ID)
+		r.evictedBudget.Inc()
+		evicted = append(evicted, victim)
+	}
+	r.mu.Unlock()
+	closeAll(evicted)
+}
+
+// SweepIdle evicts tenants idle longer than IdleTTL, returning how
+// many were removed.
+func (r *Registry) SweepIdle() int {
+	if r.cfg.IdleTTL <= 0 {
+		return 0
+	}
+	cutoff := r.cfg.Clock().Add(-r.cfg.IdleTTL).UnixNano()
+	var evicted []*Tenant
+	r.mu.Lock()
+	for id, t := range r.tenants {
+		if t.lastUse.Load() < cutoff {
+			delete(r.tenants, id)
+			r.evictedTTL.Inc()
+			evicted = append(evicted, t)
+		}
+	}
+	r.mu.Unlock()
+	closeAll(evicted)
+	return len(evicted)
+}
+
+func closeAll(ts []*Tenant) {
+	for _, t := range ts {
+		t.close()
+	}
+}
+
+// Demands snapshots every tenant's live curve for the optimizer.
+// unit is "objects" or "bytes"; byte demands require every tenant to
+// run a byte-capable model. Tenants whose curves are still empty
+// (no requests) are skipped.
+func (r *Registry) Demands(unit string) ([]Demand, error) {
+	r.mu.RLock()
+	tenants := make([]*Tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		tenants = append(tenants, t)
+	}
+	r.mu.RUnlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].ID < tenants[j].ID })
+
+	var demands []Demand
+	for _, t := range tenants {
+		snap := t.Snapshot()
+		curve := snap.Object
+		if unit == "bytes" {
+			if snap.Byte == nil {
+				return nil, fmt.Errorf("fleet: tenant %s has no byte curve (model %s not in a byte mode)", t.ID, t.Spec.Model)
+			}
+			curve = snap.Byte
+		}
+		if snap.Stats.Seen == 0 || curve == nil {
+			continue
+		}
+		demands = append(demands, Demand{
+			Tenant: t.ID,
+			Curve:  curve,
+			Weight: float64(snap.Stats.Seen),
+		})
+	}
+	return demands, nil
+}
+
+// Allocate waterfills budget across the live tenants by marginal
+// miss-ratio gain.
+func (r *Registry) Allocate(budget uint64, unit string) (Plan, error) {
+	demands, err := r.Demands(unit)
+	if err != nil {
+		return Plan{}, err
+	}
+	r.allocations.Inc()
+	plan := Waterfill(demands, budget)
+	if unit == "bytes" {
+		plan.Unit = "bytes"
+	}
+	return plan, nil
+}
+
+// MetricsInto registers fleet-level metrics under prefix.
+func (r *Registry) MetricsInto(set *telemetry.Set, prefix string) {
+	set.GaugeFunc(prefix+"tenants", "live tenant count", func() float64 {
+		return float64(r.Len())
+	})
+	set.GaugeFunc(prefix+"footprint_bytes", "summed cached model footprints", func() float64 {
+		return float64(r.Footprint())
+	})
+	set.GaugeFunc(prefix+"memory_budget_bytes", "configured global memory budget (0 = unlimited)", func() float64 {
+		return float64(r.cfg.MemoryBudgetBytes)
+	})
+	set.CounterFunc(prefix+"tenants_created_total", "tenants created", r.created.Load)
+	set.CounterFunc(prefix+"evictions_ttl_total", "tenants evicted by idle TTL", r.evictedTTL.Load)
+	set.CounterFunc(prefix+"evictions_budget_total", "tenants evicted by memory budget", r.evictedBudget.Load)
+	set.CounterFunc(prefix+"evictions_capacity_total", "tenants evicted by MaxTenants", r.evictedCapacity.Load)
+	set.CounterFunc(prefix+"evictions_manual_total", "tenants evicted by request", r.evictedManual.Load)
+	set.CounterFunc(prefix+"allocations_total", "partitioning plans computed", r.allocations.Load)
+}

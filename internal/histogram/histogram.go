@@ -115,6 +115,11 @@ func (h *Dense) Buckets(fn func(distance, count uint64)) {
 	}
 }
 
+// MemBytes reports the resident size of the histogram's backing
+// array — the footprint-accounting counterpart of the §5.6 stack
+// metadata numbers.
+func (h *Dense) MemBytes() uint64 { return uint64(cap(h.counts))*8 + 24 }
+
 // Clone returns an independent deep copy — the basis for
 // non-destructive snapshot reads, where a correction or flush is
 // applied to the copy while the live histogram keeps accumulating.
@@ -240,6 +245,9 @@ func (h *Log) Buckets(fn func(distance, count uint64)) {
 		}
 	}
 }
+
+// MemBytes reports the resident size of the histogram's backing array.
+func (h *Log) MemBytes() uint64 { return uint64(cap(h.counts))*8 + 24 }
 
 // Clone returns an independent deep copy.
 func (h *Log) Clone() *Log {

@@ -146,3 +146,10 @@ func (s *Stack) MRC() *mrc.Curve { return mrc.FromHistogram(s.hist, 1) }
 
 // Hist exposes the stack distance histogram.
 func (s *Stack) Hist() *histogram.Dense { return s.hist }
+
+// MemoryOverheadBytes estimates the stack's resident metadata: the
+// position map, the bucket population array and the histogram.
+func (s *Stack) MemoryOverheadBytes() uint64 {
+	const perEntry = 48 // map entry: key + bucket id + bucket overhead
+	return uint64(len(s.pos))*perEntry + uint64(cap(s.counts))*8 + s.hist.MemBytes()
+}

@@ -44,6 +44,9 @@ type streamModel struct {
 	// telemetry (stack gauges, update counters) alongside the adapter's
 	// stream counters in MetricsInto.
 	metrics func(*telemetry.Set, string)
+	// footprint reports the technique's resident metadata bytes; must
+	// be called under the same serialization as process.
+	footprint func() uint64
 
 	// Mergeable histograms for CapSharded models; nil otherwise.
 	objDense *histogram.Dense
@@ -130,6 +133,15 @@ func (m *streamModel) MetricsInto(set *telemetry.Set, prefix string) {
 	}
 }
 
+// Footprint implements FootprintSource. Like Process it is not safe
+// for concurrent use; callers serialize it against the stream.
+func (m *streamModel) Footprint() int64 {
+	if m.footprint == nil {
+		return 0
+	}
+	return int64(m.footprint())
+}
+
 func (m *streamModel) objHist() *histogram.Dense { return m.objDense }
 func (m *streamModel) byteHist() *histogram.Log  { return m.byteLog }
 
@@ -180,6 +192,13 @@ func newKRR(method core.UpdateMethod) func(Options) (Model, error) {
 			objDense: p.ObjHist(),
 			metrics:  p.Stack().MetricsInto,
 		}
+		m.footprint = func() uint64 {
+			fp := p.Stack().MemoryOverheadBytes() + p.ObjHist().MemBytes()
+			if m.byteLog != nil {
+				fp += m.byteLog.MemBytes()
+			}
+			return fp
+		}
 		if o.Bytes != BytesOff {
 			m.byteCurve = func() *mrc.Curve { return mrc.FromHistogram(p.ByteHist(), scale) }
 			m.byteLog = p.ByteHist()
@@ -204,11 +223,12 @@ func newKRRBucket(o Options) (Model, error) {
 		return nil, err
 	}
 	return &streamModel{
-		filter:   filter,
-		process:  p.Process,
-		objCurve: func() *mrc.Curve { return mrc.FromHistogram(p.ObjHist(), scale) },
-		objDense: p.ObjHist(),
-		metrics:  p.Stack().MetricsInto,
+		filter:    filter,
+		process:   p.Process,
+		objCurve:  func() *mrc.Curve { return mrc.FromHistogram(p.ObjHist(), scale) },
+		objDense:  p.ObjHist(),
+		metrics:   p.Stack().MetricsInto,
+		footprint: func() uint64 { return p.Stack().MemoryOverheadBytes() + p.ObjHist().MemBytes() },
 	}, nil
 }
 
@@ -218,10 +238,11 @@ func newOlken(o Options) (Model, error) {
 	filter, scale := extFilter(o)
 	p := olken.NewProfiler(o.Seed)
 	m := &streamModel{
-		filter:   filter,
-		process:  p.Process,
-		objCurve: func() *mrc.Curve { return p.ObjectMRC(scale) },
-		objDense: p.ObjHist(),
+		filter:    filter,
+		process:   p.Process,
+		objCurve:  func() *mrc.Curve { return p.ObjectMRC(scale) },
+		objDense:  p.ObjHist(),
+		footprint: p.MemoryOverheadBytes,
 	}
 	if o.Bytes != BytesOff {
 		m.byteCurve = func() *mrc.Curve { return p.ByteMRC(scale) }
@@ -247,9 +268,10 @@ func newShardsFixedRate(o Options) (Model, error) {
 	s := shards.NewFixedRate(rate, o.Seed, true)
 	admit := sampling.NewRate(rate)
 	m := &streamModel{
-		admit:    admit.Sampled,
-		process:  s.Process,
-		objCurve: s.MRC,
+		admit:     admit.Sampled,
+		process:   s.Process,
+		objCurve:  s.MRC,
+		footprint: s.MemoryOverheadBytes,
 	}
 	if o.Bytes != BytesOff {
 		m.byteCurve = s.ByteMRC
@@ -271,8 +293,9 @@ func newShardsFixedSize(o Options) (Model, error) {
 		admit: func(key uint64) bool {
 			return hashing.Mix64(key)%sampling.Modulus < s.Threshold()
 		},
-		process:  s.Process,
-		objCurve: s.MRC,
+		process:   s.Process,
+		objCurve:  s.MRC,
+		footprint: s.MemoryOverheadBytes,
 	}, nil
 }
 
@@ -289,9 +312,10 @@ func newAETMonitor(o Options, curve func(*aet.Monitor) *mrc.Curve) (Model, error
 		admit = sampling.NewRate(o.SamplingRate).Sampled
 	}
 	return &streamModel{
-		admit:    admit,
-		process:  mon.Process,
-		objCurve: func() *mrc.Curve { return curve(mon) },
+		admit:     admit,
+		process:   mon.Process,
+		objCurve:  func() *mrc.Curve { return curve(mon) },
+		footprint: mon.MemoryOverheadBytes,
 	}, nil
 }
 
@@ -309,11 +333,12 @@ func newCounterStacks(o Options) (Model, error) {
 	filter, scale := extFilter(o)
 	cs := counterstacks.New(counterstacks.Config{})
 	return &streamModel{
-		filter:   filter,
-		process:  cs.Process,
-		flush:    cs.Flush,
-		objCurve: func() *mrc.Curve { return mrc.FromHistogram(cs.Hist(), scale) },
-		snapObj:  func() *mrc.Curve { return mrc.FromHistogram(cs.SnapshotHist(), scale) },
+		filter:    filter,
+		process:   cs.Process,
+		flush:     cs.Flush,
+		objCurve:  func() *mrc.Curve { return mrc.FromHistogram(cs.Hist(), scale) },
+		snapObj:   func() *mrc.Curve { return mrc.FromHistogram(cs.SnapshotHist(), scale) },
+		footprint: cs.MemoryOverheadBytes,
 	}, nil
 }
 
@@ -323,10 +348,11 @@ func newMimir(o Options) (Model, error) {
 	filter, scale := extFilter(o)
 	m := mimir.New(mimir.DefaultBuckets)
 	return &streamModel{
-		filter:   filter,
-		process:  m.Process,
-		objCurve: func() *mrc.Curve { return mrc.FromHistogram(m.Hist(), scale) },
-		objDense: m.Hist(),
+		filter:    filter,
+		process:   m.Process,
+		objCurve:  func() *mrc.Curve { return mrc.FromHistogram(m.Hist(), scale) },
+		objDense:  m.Hist(),
+		footprint: m.MemoryOverheadBytes,
 	}, nil
 }
 
@@ -337,9 +363,10 @@ func newNSP(policy nsp.Policy) func(Options) (Model, error) {
 		filter, scale := extFilter(o)
 		s := nsp.New(policy, o.Seed)
 		return &streamModel{
-			filter:   filter,
-			process:  s.Process,
-			objCurve: func() *mrc.Curve { return mrc.FromHistogram(s.Hist(), scale) },
+			filter:    filter,
+			process:   s.Process,
+			objCurve:  func() *mrc.Curve { return mrc.FromHistogram(s.Hist(), scale) },
+			footprint: s.MemoryOverheadBytes,
 		}, nil
 	}
 }
@@ -352,9 +379,10 @@ func newMRU(o Options) (Model, error) {
 	filter, scale := extFilter(o)
 	s := nsp.NewMRU()
 	return &streamModel{
-		filter:   filter,
-		process:  s.Process,
-		objCurve: func() *mrc.Curve { return mrc.FromHistogram(s.Hist(), scale) },
+		filter:    filter,
+		process:   s.Process,
+		objCurve:  func() *mrc.Curve { return mrc.FromHistogram(s.Hist(), scale) },
+		footprint: s.MemoryOverheadBytes,
 	}, nil
 }
 

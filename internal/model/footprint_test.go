@@ -1,0 +1,83 @@
+package model
+
+import (
+	"testing"
+
+	"krr/internal/trace"
+)
+
+// TestFootprintAllModels holds every registry entry to the
+// FootprintSource contract: after processing a stream, the reported
+// resident size is positive and grows with the tracked population.
+func TestFootprintAllModels(t *testing.T) {
+	for _, info := range All() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			m, err := New(info.Name, Options{Seed: 1})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			fs, ok := m.(FootprintSource)
+			if !ok {
+				t.Fatalf("%s does not implement FootprintSource", info.Name)
+			}
+			small := feedKeys(t, m, 64)
+			big, err2 := New(info.Name, Options{Seed: 1})
+			if err2 != nil {
+				t.Fatalf("New: %v", err2)
+			}
+			bigFp := feedKeys(t, big, 4096)
+			if small <= 0 {
+				t.Fatalf("footprint after 64 keys = %d, want > 0", small)
+			}
+			if bigFp < small {
+				t.Fatalf("footprint shrank with population: 64 keys -> %d, 4096 keys -> %d", small, bigFp)
+			}
+			_ = fs
+		})
+	}
+}
+
+// feedKeys processes n distinct keys and returns the model footprint.
+func feedKeys(t *testing.T, m Model, n int) int64 {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := m.Process(trace.Request{Key: uint64(i), Size: 100}); err != nil {
+			t.Fatalf("Process: %v", err)
+		}
+	}
+	return FootprintOf(m)
+}
+
+// TestShardedFootprintAndClose checks the wrapper sums shard
+// footprints mid-stream (through a quiesce) and that Close releases
+// the pipeline idempotently.
+func TestShardedFootprintAndClose(t *testing.T) {
+	s, err := NewSharded("krr", 4, Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	for i := 0; i < 2048; i++ {
+		if err := s.Process(trace.Request{Key: uint64(i % 300), Size: 10}); err != nil {
+			t.Fatalf("Process: %v", err)
+		}
+	}
+	if fp := s.Footprint(); fp <= 0 {
+		t.Fatalf("sharded footprint = %d, want > 0", fp)
+	}
+	if err := s.Process(trace.Request{Key: 1, Size: 10}); err != nil {
+		t.Fatalf("Process after Footprint: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := s.Process(trace.Request{Key: 1, Size: 10}); err != ErrFinalized {
+		t.Fatalf("Process after Close = %v, want ErrFinalized", err)
+	}
+	if fp := s.Footprint(); fp <= 0 {
+		t.Fatalf("post-close footprint = %d, want > 0", fp)
+	}
+}

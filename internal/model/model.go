@@ -273,6 +273,27 @@ type MetricSource interface {
 	MetricsInto(set *telemetry.Set, prefix string)
 }
 
+// FootprintSource is implemented by models that can report their
+// resident metadata size — the §5.6 memory-overhead accounting
+// extended to every technique. Footprint must be called under the
+// same serialization as Process (it reads live map and slice
+// headers); concurrent consumers cache the result in an atomic
+// between calls rather than registering it as a live gauge.
+type FootprintSource interface {
+	// Footprint returns the model's estimated resident metadata in
+	// bytes.
+	Footprint() int64
+}
+
+// FootprintOf returns m's footprint when it implements
+// FootprintSource, else 0.
+func FootprintOf(m Model) int64 {
+	if fs, ok := m.(FootprintSource); ok {
+		return fs.Footprint()
+	}
+	return 0
+}
+
 // ProcessAll drains a reader into m, using the trace.BatchReader fast
 // path when available. It stops at the first Process error.
 func ProcessAll(m Model, r trace.Reader) error {

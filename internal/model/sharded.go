@@ -217,6 +217,38 @@ func (s *Sharded) Stats() Stats {
 	return Stats{Seen: s.seen.Load(), Sampled: s.sampled.Load(), Finalized: s.finalized}
 }
 
+// Footprint implements FootprintSource: the sum of the shard
+// sub-models' footprints. Mid-stream it quiesces the pipe so the
+// worker-owned structures are read race-free; after finalization it
+// reads them directly.
+func (s *Sharded) Footprint() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	sum := func() {
+		for _, sub := range s.subs {
+			total += FootprintOf(sub)
+		}
+	}
+	if s.finalized {
+		sum()
+	} else {
+		s.pipe.Quiesce(sum)
+	}
+	return total
+}
+
+// Close releases the pipeline's worker goroutines without reading any
+// curve. Safe to call repeatedly; the model is finalized afterwards.
+// Tenant eviction paths use it so a discarded sharded model does not
+// leak its workers.
+func (s *Sharded) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drain()
+	return nil
+}
+
 // MetricsInto implements MetricSource: router stream counters, the
 // pipe's batch/queue metrics, and each shard sub-model's metrics under
 // a shard<i>_ prefix. All registered values are atomics, safe to

@@ -105,3 +105,10 @@ func (s *MRUStack) MRC() *mrc.Curve { return mrc.FromHistogram(s.hist, 1) }
 
 // Hist exposes the stack distance histogram.
 func (s *MRUStack) Hist() *histogram.Dense { return s.hist }
+
+// MemoryOverheadBytes estimates the model's resident metadata: the
+// position array and index map plus the histogram.
+func (s *MRUStack) MemoryOverheadBytes() uint64 {
+	const perEntry = 48 // pos map entry
+	return uint64(cap(s.keys))*8 + uint64(len(s.pos))*perEntry + s.hist.MemBytes()
+}

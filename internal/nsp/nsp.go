@@ -309,3 +309,13 @@ func (s *Stack) MRC() *mrc.Curve { return mrc.FromHistogram(s.hist, 1) }
 
 // Hist exposes the stack distance histogram.
 func (s *Stack) Hist() *histogram.Dense { return s.hist }
+
+// MemoryOverheadBytes estimates the model's resident metadata: one
+// treap node plus two map entries (counts, prios) per distinct object,
+// plus the histogram.
+func (s *Stack) MemoryOverheadBytes() uint64 {
+	const perNode = 56  // prio tuple + heap prio + children + count, padded
+	const perEntry = 48 // counts entry
+	const perPrio = 56  // prios entry: key + [2]uint64 + bucket overhead
+	return uint64(len(s.counts))*(perNode+perEntry+perPrio) + s.hist.MemBytes()
+}

@@ -186,6 +186,16 @@ func (s *Stack) Delete(key uint64) bool {
 	return true
 }
 
+// MemoryOverheadBytes estimates the resident size of the stack's
+// metadata in the §5.6 accounting style: one treap node (two words of
+// payload, two child pointers, priority, count and byte augmentations)
+// plus one hash-index entry per tracked object.
+func (s *Stack) MemoryOverheadBytes() uint64 {
+	const perNode = 64  // node struct, padded
+	const perIndex = 48 // map entry: key + pointer + bucket overhead
+	return uint64(s.Len()) * (perNode + perIndex)
+}
+
 // Contains reports residency of key.
 func (s *Stack) Contains(key uint64) bool {
 	_, ok := s.index[key]
@@ -268,3 +278,9 @@ func (p *Profiler) ByteHist() *histogram.Log { return p.byteHist }
 
 // Stack exposes the underlying LRU stack.
 func (p *Profiler) Stack() *Stack { return p.stack }
+
+// MemoryOverheadBytes estimates the profiler's resident metadata:
+// stack nodes plus both histogram backing arrays.
+func (p *Profiler) MemoryOverheadBytes() uint64 {
+	return p.stack.MemoryOverheadBytes() + p.objHist.MemBytes() + p.byteHist.MemBytes()
+}

@@ -102,6 +102,12 @@ func (s *FixedRate) ByteMRC() *mrc.Curve {
 	return mrc.FromHistogram(s.prof.ByteHist(), 1/s.filter.Rate())
 }
 
+// MemoryOverheadBytes estimates the model's resident metadata (the
+// sampled-stream Olken profiler).
+func (s *FixedRate) MemoryOverheadBytes() uint64 {
+	return s.prof.MemoryOverheadBytes()
+}
+
 // FixedSize is bounded-memory SHARDS: at most sMax sampled objects are
 // tracked, with the sampling threshold lowered as needed.
 //
@@ -162,6 +168,17 @@ func (s *FixedSize) Threshold() uint64 { return s.threshold }
 
 // TrackedObjects returns the current sample-set size.
 func (s *FixedSize) TrackedObjects() int { return s.stack.Len() }
+
+// MemoryOverheadBytes estimates the model's resident metadata: the
+// bounded Olken stack, the liveness map, the shrink heap and the dense
+// weight array.
+func (s *FixedSize) MemoryOverheadBytes() uint64 {
+	const perEntry = 48 // hashes map entry
+	return s.stack.MemoryOverheadBytes() +
+		uint64(len(s.hashes))*perEntry +
+		uint64(cap(s.byHash))*16 +
+		uint64(cap(s.hist))*8
+}
 
 // Process feeds one request.
 func (s *FixedSize) Process(req trace.Request) {

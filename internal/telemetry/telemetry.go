@@ -133,18 +133,59 @@ func (s *Set) snapshot() []metric {
 // WritePrometheus renders the set in the Prometheus text exposition
 // format (one HELP/TYPE/value triple per metric, registration order).
 func (s *Set) WritePrometheus(w io.Writer) error {
+	return s.WritePrometheusLabeled(w, "", nil)
+}
+
+// WritePrometheusLabeled renders the set with a label suffix attached
+// to every sample, e.g. labels = `tenant="t1"` yields
+// `name{tenant="t1"} value`. A multi-tenant exposition concatenates
+// many sets sharing metric names; to keep the output a valid single
+// document, HELP/TYPE header lines are emitted only for metric names
+// not yet present in seen (which is updated in place). Passing a nil
+// seen emits headers unconditionally; empty labels render bare names.
+func (s *Set) WritePrometheusLabeled(w io.Writer, labels string, seen map[string]bool) error {
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
 	for _, m := range s.snapshot() {
-		if m.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+		if seen == nil || !seen[m.name] {
+			if seen != nil {
+				seen[m.name] = true
+			}
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n",
-			m.name, m.kind, m.name, formatValue(m.read())); err != nil {
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", m.name, suffix, formatValue(m.read())); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// EscapeLabelValue escapes a string for use inside a Prometheus label
+// value (backslash, double quote and newline, per the text format).
+func EscapeLabelValue(v string) string {
+	var b []byte
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '"':
+			b = append(b, '\\', '"')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, c)
+		}
+	}
+	return string(b)
 }
 
 // formatValue renders integral values without an exponent (the common

@@ -43,6 +43,9 @@ fi
 echo "== krrserve smoke (build daemon, ingest over HTTP, scrape, SIGTERM)"
 go test -count=1 -run TestServeSmoke ./cmd/krrserve/
 
+echo "== fleet smoke (3 tenants, shared budget, /allocate plan checks)"
+go test -count=1 -run TestFleetSmoke ./cmd/krrserve/
+
 echo "== bench smoke (Table 5.3, 100x)"
 go test -run=NONE -bench=Table5_3 -benchtime=100x .
 
