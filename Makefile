@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fast test bench bench-smoke results difftest fuzz-short serve-smoke
+.PHONY: check fast test bench bench-smoke results difftest fuzz-short serve-smoke ingest-smoke loadbench
 
 check: ## vet + build + race tests + bench smoke
 	./scripts/check.sh
@@ -21,6 +21,12 @@ bench-smoke: ## compile-and-run sanity pass over the Table 5.3 benches
 
 serve-smoke: ## end-to-end krrserve test: build, ingest, scrape, SIGTERM
 	$(GO) test -count=1 -run TestServeSmoke -v ./cmd/krrserve/
+
+ingest-smoke: ## krrload -> krrserve wire plane over loopback, zero drops required
+	$(GO) test -count=1 -run TestIngestSmoke -v ./cmd/krrserve/
+
+loadbench: ## sustained wire-ingest throughput sweep (see results/ingest_bench.md)
+	./scripts/loadbench.sh
 
 results: ## regenerate the paper tables/figures under results/
 	$(GO) run ./cmd/experiments -run all -out results

@@ -1,0 +1,229 @@
+// krrload is the load generator for krrserve's binary wire-protocol
+// ingest plane. It pregenerates requests from a workload preset (so
+// generation cost never shadows the path under test), streams them as
+// batched frames over one or more TCP connections per tenant at an
+// optional target rate, and reports sustained throughput, ack-latency
+// quantiles and drop counts when the run ends.
+//
+// Typical runs:
+//
+//	krrload -addr :8702 -duration 10s                 # one tenant, one conn, unpaced
+//	krrload -addr :8702 -tenants 4 -conns 2 -rate 1e6 # paced fleet drive
+//	krrload -addr :8702 -workload msr-src1 -variable  # preset traffic shape
+//
+// The exit status is the assertion surface for smoke tests: with
+// -fail-on-drops the run fails if the server shed any frame, and every
+// run fails if nothing was acked.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sync"
+	"time"
+
+	"krr/internal/telemetry"
+	"krr/internal/trace"
+	"krr/internal/wire"
+	"krr/internal/workload"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8702", "krrserve wire-protocol address")
+		tenants     = flag.Int("tenants", 1, "number of tenants to drive (ids <prefix>0..N-1)")
+		conns       = flag.Int("conns", 1, "connections per tenant")
+		prefix      = flag.String("tenant-prefix", "load-", "tenant id prefix")
+		preset      = flag.String("workload", "zipf", "workload preset (see internal/workload)")
+		scale       = flag.Float64("scale", 1.0, "preset key-space scale")
+		seed        = flag.Uint64("seed", 1, "workload seed (each connection derives its own)")
+		variable    = flag.Bool("variable", false, "variable object sizes")
+		rate        = flag.Float64("rate", 0, "target request rate across all connections (req/s, 0 = unpaced)")
+		duration    = flag.Duration("duration", 10*time.Second, "run length")
+		frameLen    = flag.Int("frame", 4096, "requests per frame")
+		pregen      = flag.Int("pregen", 1<<18, "pregenerated requests per connection, cycled")
+		markdown    = flag.Bool("markdown", false, "emit the summary as a markdown table row")
+		failOnDrops = flag.Bool("fail-on-drops", false, "exit nonzero if the server shed any frame")
+	)
+	flag.Parse()
+
+	p, ok := workload.ByName(*preset)
+	if !ok {
+		log.Fatalf("krrload: unknown workload %q (have %v)", *preset, workload.Names())
+	}
+	if *frameLen <= 0 || *frameLen > wire.MaxFrameRecords {
+		log.Fatalf("krrload: -frame %d out of [1, %d]", *frameLen, wire.MaxFrameRecords)
+	}
+	if *tenants < 1 || *conns < 1 {
+		log.Fatal("krrload: -tenants and -conns must be >= 1")
+	}
+	total := *tenants * *conns
+
+	// Shared ack-latency histogram: Observe is atomic, so every
+	// connection samples into one ladder (1µs .. ~1s).
+	lat := telemetry.NewHistogram(telemetry.ExpBuckets(1e-6, 2, 21))
+
+	// Pregenerate each connection's chunk up front; connection i gets an
+	// independently seeded stream so tenants do not share hot sets.
+	chunks := make([][]trace.Request, total)
+	for i := range chunks {
+		r := p.New(*scale, *seed+uint64(i)*7919, *variable)
+		chunk := make([]trace.Request, *pregen)
+		for j := range chunk {
+			req, err := r.Next()
+			if err != nil {
+				log.Fatalf("krrload: workload generation: %v", err)
+			}
+			chunk[j] = req
+		}
+		chunks[i] = chunk
+	}
+
+	perConnRate := *rate / float64(total)
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+
+	var (
+		mu      sync.Mutex
+		agg     wire.Stats
+		nErr    int
+		lastErr error
+	)
+	var wg sync.WaitGroup
+	for t := 0; t < *tenants; t++ {
+		tenant := fmt.Sprintf("%s%d", *prefix, t)
+		for c := 0; c < *conns; c++ {
+			idx := t**conns + c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				st, err := drive(*addr, tenant, chunks[idx], *frameLen, perConnRate, deadline, lat)
+				mu.Lock()
+				defer mu.Unlock()
+				agg.Frames += st.Frames
+				agg.Requests += st.Requests
+				agg.AckedFrames += st.AckedFrames
+				agg.AckedRequests += st.AckedRequests
+				agg.DroppedFrames += st.DroppedFrames
+				agg.DroppedRequests += st.DroppedRequests
+				if err != nil {
+					nErr++
+					lastErr = err
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report(os.Stdout, *markdown, *tenants, *conns, *preset, agg, elapsed, lat)
+	if nErr > 0 {
+		log.Fatalf("krrload: %d/%d connections failed, last error: %v", nErr, total, lastErr)
+	}
+	if agg.AckedRequests == 0 {
+		log.Fatal("krrload: no requests acked")
+	}
+	if *failOnDrops && agg.DroppedFrames > 0 {
+		log.Fatalf("krrload: server shed %d frames (%d requests)", agg.DroppedFrames, agg.DroppedRequests)
+	}
+}
+
+// drive runs one connection until the deadline: cycle the pregenerated
+// chunk frame by frame, pace against the target rate, then close and
+// return the connection's stats.
+func drive(addr, tenant string, chunk []trace.Request, frameLen int, rate float64, deadline time.Time, lat *telemetry.Histogram) (wire.Stats, error) {
+	c, err := wire.Dial(addr, tenant)
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	c.Latency = lat
+	start := time.Now()
+	var sent uint64
+	off := 0
+	for time.Now().Before(deadline) {
+		if rate > 0 {
+			// Token-bucket pacing: sleep off any surplus over the target
+			// request budget for the elapsed time.
+			target := rate * time.Since(start).Seconds()
+			if surplus := float64(sent) - target; surplus > 0 {
+				time.Sleep(time.Duration(surplus / rate * float64(time.Second)))
+			}
+		}
+		end := off + frameLen
+		if end > len(chunk) {
+			end = len(chunk)
+		}
+		if err := c.SendBatch(chunk[off:end]); err != nil {
+			st, _ := c.Close()
+			return st, err
+		}
+		sent += uint64(end - off)
+		off = end
+		if off == len(chunk) {
+			off = 0
+		}
+		// Flush per frame so the server sees a steady frame stream (and
+		// acks flow back) instead of 64 KiB bursts.
+		if err := c.Flush(); err != nil {
+			st, _ := c.Close()
+			return st, err
+		}
+	}
+	return c.Close()
+}
+
+// report prints the run summary.
+func report(w *os.File, md bool, tenants, conns int, preset string, st wire.Stats, elapsed time.Duration, lat *telemetry.Histogram) {
+	secs := elapsed.Seconds()
+	ackRate := float64(st.AckedRequests) / secs
+	dropPct := 0.0
+	if st.Requests > 0 {
+		dropPct = 100 * float64(st.DroppedRequests) / float64(st.Requests)
+	}
+	p50, p99 := lat.Quantile(0.50), lat.Quantile(0.99)
+	if md {
+		fmt.Fprintf(w, "| %d | %d | %s | %s | %s | %.1f%% | %s | %s |\n",
+			tenants, conns, preset, fmtRate(ackRate), fmtCount(st.AckedRequests), dropPct,
+			fmtDur(p50), fmtDur(p99))
+		return
+	}
+	fmt.Fprintf(w, "krrload: %d tenants x %d conns, workload %s, %.2fs\n", tenants, conns, preset, secs)
+	fmt.Fprintf(w, "  sent:    %d requests in %d frames\n", st.Requests, st.Frames)
+	fmt.Fprintf(w, "  acked:   %d requests (%s sustained)\n", st.AckedRequests, fmtRate(ackRate))
+	fmt.Fprintf(w, "  dropped: %d requests in %d frames (%.2f%%)\n", st.DroppedRequests, st.DroppedFrames, dropPct)
+	fmt.Fprintf(w, "  ack latency: p50 %s, p99 %s (%d samples)\n", fmtDur(p50), fmtDur(p99), lat.Count())
+}
+
+func fmtRate(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2f Mreq/s", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1f kreq/s", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f req/s", v)
+	}
+}
+
+func fmtCount(v uint64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", float64(v)/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", float64(v)/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+func fmtDur(seconds float64) string {
+	if seconds <= 0 || math.IsNaN(seconds) {
+		return "n/a"
+	}
+	return time.Duration(seconds * float64(time.Second)).Round(time.Microsecond).String()
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestIngestSmoke is the check.sh ingest-smoke stage: build the real
+// krrserve and krrload binaries, run the generator against the wire
+// listener over loopback at a modest paced rate, and require nonzero
+// sustained throughput with zero drops (krrload exits nonzero
+// otherwise, via -fail-on-drops). The server's own wire_ counters must
+// agree that traffic arrived.
+func TestIngestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon and load-generator binaries")
+	}
+	dir := t.TempDir()
+	serveBin := filepath.Join(dir, "krrserve")
+	loadBin := filepath.Join(dir, "krrload")
+	for bin, pkg := range map[string]string{serveBin: ".", loadBin: "../krrload"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	httpAddr := reservePort(t)
+	tcpAddr := reservePort(t)
+
+	cmd := exec.Command(serveBin, "-addr", httpAddr, "-tcp", tcpAddr,
+		"-model", "krr-bucket", "-seed", "1", "-final", filepath.Join(dir, "final.json"))
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	base := "http://" + httpAddr
+	waitHealthy(t, base)
+
+	// Modest rate: well under the plane's sustained capacity, so any
+	// drop is a real admission-control or protocol bug.
+	load := exec.Command(loadBin, "-addr", tcpAddr, "-duration", "2s",
+		"-rate", "100000", "-frame", "1024", "-pregen", "65536", "-fail-on-drops")
+	out, err := load.CombinedOutput()
+	t.Logf("krrload output:\n%s", out)
+	if err != nil {
+		t.Fatalf("krrload failed: %v", err)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(strings.Builder)
+	buf := make([]byte, 1<<16)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		body.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	if v := metricValue(t, body.String(), "wire_requests_total"); v == 0 {
+		t.Fatal("server counted zero wire requests")
+	}
+	if v := metricValue(t, body.String(), "wire_dropped_frames_total"); v != 0 {
+		t.Fatalf("server dropped %d frames at a modest rate", v)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit within 15s of SIGTERM")
+	}
+}
+
+// reservePort grabs a free loopback port and immediately releases it.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// metricValue extracts an integer counter from Prometheus exposition.
+func metricValue(t *testing.T, body, name string) uint64 {
+	t.Helper()
+	m := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`).FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("/metrics missing %s:\n%s", name, body)
+	}
+	v, err := strconv.ParseUint(m[1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}

@@ -79,6 +79,7 @@ import (
 	"krr/internal/mrc"
 	"krr/internal/telemetry"
 	"krr/internal/trace"
+	"krr/internal/wire"
 )
 
 // defaultTenant is the id behind the single-tenant legacy endpoints.
@@ -87,6 +88,8 @@ const defaultTenant = "default"
 func main() {
 	var (
 		addr        = flag.String("addr", ":8701", "listen address")
+		tcpAddr     = flag.String("tcp", "", "binary wire-protocol ingest listen address (empty = disabled)")
+		queueDepth  = flag.Int("tcp-queue", 0, "per-connection wire ingest queue depth in frames (0 = default)")
 		name        = flag.String("model", "krr", "default tenant model (see internal/model)")
 		k           = flag.Int("k", 0, "K-LRU sampling size (0 = model default)")
 		seed        = flag.Uint64("seed", 1, "model seed")
@@ -137,6 +140,15 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("krrserve: default model=%s listening on %s", *name, *addr)
 
+	var wireSrv *wire.Server
+	if *tcpAddr != "" {
+		wireSrv, err = srv.startWire(*tcpAddr, *queueDepth, errc)
+		if err != nil {
+			log.Fatalf("krrserve: wire listener: %v", err)
+		}
+		log.Printf("krrserve: wire ingest listening on %s", *tcpAddr)
+	}
+
 	select {
 	case err := <-errc:
 		log.Fatalf("krrserve: %v", err)
@@ -148,6 +160,9 @@ func main() {
 	log.Printf("krrserve: shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if wireSrv != nil {
+		wireSrv.Close() // drains every connection's queued frames
+	}
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		log.Printf("krrserve: shutdown: %v", err)
 	}
@@ -360,27 +375,12 @@ func (n ndjsonReq) request() (trace.Request, error) {
 }
 
 // bodyReader adapts an ingest body (binary or NDJSON) to trace.Reader.
+// NDJSON goes through the allocation-free line parser in ndjson.go.
 func bodyReader(r *http.Request) (trace.Reader, error) {
 	if r.Header.Get("Content-Type") == "application/octet-stream" {
 		return trace.NewBinaryReader(r.Body)
 	}
-	dec := json.NewDecoder(r.Body)
-	line := 0
-	return trace.FuncReader(func() (trace.Request, error) {
-		line++
-		var n ndjsonReq
-		if err := dec.Decode(&n); err != nil {
-			if errors.Is(err, io.EOF) {
-				return trace.Request{}, io.EOF
-			}
-			return trace.Request{}, fmt.Errorf("line %d: %w", line, err)
-		}
-		req, err := n.request()
-		if err != nil {
-			return trace.Request{}, fmt.Errorf("line %d: %w", line, err)
-		}
-		return req, nil
-	}), nil
+	return newNDJSONReader(r.Body), nil
 }
 
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {

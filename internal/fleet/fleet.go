@@ -88,6 +88,7 @@ type Tenant struct {
 
 	set       *telemetry.Set
 	requests  telemetry.Counter
+	batches   uint64 // guarded by mu; drives footprint refresh cadence
 	footprint atomic.Int64
 	lastUse   atomic.Int64 // unix nanos
 	created   time.Time
@@ -129,6 +130,33 @@ func (t *Tenant) Ingest(r trace.Reader) (uint64, error) {
 	t.requests.Add(n)
 	t.footprint.Store(model.FootprintOf(t.model))
 	return n, err
+}
+
+// footprintEvery is the batch cadence of footprint refreshes on the
+// IngestBatch hot path. Footprint reads quiesce sharded pipelines —
+// far too expensive per frame — so the cached value may lag by up to
+// footprintEvery-1 batches (at most a few MiB of drift at typical
+// frame sizes) between refreshes.
+const footprintEvery = 64
+
+// IngestBatch feeds one decoded request batch to the tenant's model —
+// the wire ingest hot path. It differs from Ingest in two ways: the
+// batch goes through the model's BatchProcessor fast path when it has
+// one, and the cached footprint is refreshed only every footprintEvery
+// batches instead of per call. The returned bool reports whether this
+// call refreshed the footprint; callers re-check the memory budget
+// only then.
+func (t *Tenant) IngestBatch(reqs []trace.Request) (refreshed bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	err = model.ProcessBatch(t.model, reqs)
+	t.requests.Add(uint64(len(reqs)))
+	t.batches++
+	if t.batches%footprintEvery == 0 {
+		t.footprint.Store(model.FootprintOf(t.model))
+		refreshed = true
+	}
+	return refreshed, err
 }
 
 // close releases model resources (sharded pipelines hold worker
@@ -301,6 +329,22 @@ func (r *Registry) Ingest(id string, reader trace.Reader) (uint64, error) {
 	n, err := t.Ingest(reader)
 	r.enforceBudget(id)
 	return n, err
+}
+
+// IngestBatch feeds one decoded batch to the tenant (auto-created when
+// absent) — the wire data plane's sink. Budget enforcement rides the
+// tenant's amortized footprint refresh instead of running per frame.
+func (r *Registry) IngestBatch(id string, reqs []trace.Request) error {
+	t, err := r.Ensure(id)
+	if err != nil {
+		return err
+	}
+	t.touch(r.cfg.Clock())
+	refreshed, err := t.IngestBatch(reqs)
+	if refreshed {
+		r.enforceBudget(id)
+	}
+	return err
 }
 
 // Snapshot reads a tenant's live curves.

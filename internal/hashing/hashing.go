@@ -44,3 +44,19 @@ func String(s string) uint64 {
 	}
 	return Mix64(h)
 }
+
+// Bytes is String over a byte slice, for parsers that hold keys as
+// sub-slices of an input buffer and must not allocate a string to hash
+// them. Bytes(b) == String(string(b)) for every b.
+func Bytes(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= prime64
+	}
+	return Mix64(h)
+}

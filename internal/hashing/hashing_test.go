@@ -107,3 +107,21 @@ func TestStringNoEasyCollisions(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBytesMatchesString(t *testing.T) {
+	cases := []string{"", "a", "user:42:profile", "héllo", "\x00\xff\x80", "0123456789abcdef0123456789abcdef"}
+	for _, s := range cases {
+		if got, want := Bytes([]byte(s)), String(s); got != want {
+			t.Fatalf("Bytes(%q) = %#x, String = %#x", s, got, want)
+		}
+	}
+}
+
+func TestBytesDoesNotAllocate(t *testing.T) {
+	b := []byte("some-cache-key-of-typical-length")
+	var sink uint64
+	if allocs := testing.AllocsPerRun(100, func() { sink += Bytes(b) }); allocs != 0 {
+		t.Fatalf("Bytes allocates %v per call", allocs)
+	}
+	_ = sink
+}

@@ -1,0 +1,111 @@
+package model
+
+import (
+	"testing"
+
+	"krr/internal/trace"
+)
+
+// TestShardedProcessBatchEquivalence pins the batched ingest fast path
+// to per-request Process: same options, same stream, arbitrary batch
+// boundaries — bit-identical curves and identical stream counters.
+func TestShardedProcessBatchEquivalence(t *testing.T) {
+	tr := synthTrace(t, 40000, 4000, 7)
+	reqs := tr.Reqs
+	opts := Options{K: 5, Seed: 11, SamplingRate: 0.3, Workers: 4, Bytes: BytesOn}
+
+	serial, err := New("krr", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range reqs {
+		if err := serial.Process(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	batched, err := New("krr", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, ok := batched.(BatchProcessor)
+	if !ok {
+		t.Fatal("sharded model does not implement BatchProcessor")
+	}
+	// Ragged batch boundaries, including empty and oversized chunks.
+	sizes := []int{1, 0, 7, 4096, 63, 997, 2}
+	for i := 0; len(reqs) > 0; i++ {
+		n := sizes[i%len(sizes)]
+		if n > len(reqs) {
+			n = len(reqs)
+		}
+		if err := bp.ProcessBatch(reqs[:n]); err != nil {
+			t.Fatal(err)
+		}
+		reqs = reqs[n:]
+	}
+
+	ss, bs := serial.Stats(), batched.Stats()
+	if ss.Seen != bs.Seen || ss.Sampled != bs.Sampled {
+		t.Fatalf("stats diverge: serial %+v batched %+v", ss, bs)
+	}
+	if !sameCurve(serial.ObjectMRC(), batched.ObjectMRC()) {
+		t.Fatal("object curves diverge between Process and ProcessBatch")
+	}
+	if !sameCurve(serial.ByteMRC(), batched.ByteMRC()) {
+		t.Fatal("byte curves diverge between Process and ProcessBatch")
+	}
+}
+
+// TestProcessBatchFallback pins the helper's per-request fallback for
+// serial models (which do not implement BatchProcessor).
+func TestProcessBatchFallback(t *testing.T) {
+	tr := synthTrace(t, 5000, 500, 3)
+	reqs := tr.Reqs
+	opts := Options{K: 5, Seed: 9}
+
+	serial, err := New("krr", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range reqs {
+		if err := serial.Process(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	viaHelper, err := New("krr", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := viaHelper.(BatchProcessor); ok {
+		t.Fatal("serial krr unexpectedly implements BatchProcessor; fallback untested")
+	}
+	for off := 0; off < len(reqs); off += 321 {
+		end := off + 321
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		if err := ProcessBatch(viaHelper, reqs[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sameCurve(serial.ObjectMRC(), viaHelper.ObjectMRC()) {
+		t.Fatal("ProcessBatch fallback diverges from Process")
+	}
+}
+
+// TestShardedProcessBatchAfterFinalize pins the guard.
+func TestShardedProcessBatchAfterFinalize(t *testing.T) {
+	m, err := New("krr", Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := m.(BatchProcessor)
+	if err := bp.ProcessBatch([]trace.Request{{Key: 1, Size: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	m.ObjectMRC()
+	if err := bp.ProcessBatch([]trace.Request{{Key: 2, Size: 1}}); err != ErrFinalized {
+		t.Fatalf("ProcessBatch after finalize = %v, want ErrFinalized", err)
+	}
+}

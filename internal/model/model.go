@@ -294,6 +294,30 @@ func FootprintOf(m Model) int64 {
 	return 0
 }
 
+// BatchProcessor is implemented by models with a batched ingest fast
+// path: one ProcessBatch call is equivalent to calling Process on each
+// request in order, but amortizes per-call overhead (locking, shard
+// routing) over the whole batch. The wire ingest plane feeds frames
+// through this interface.
+type BatchProcessor interface {
+	ProcessBatch(reqs []trace.Request) error
+}
+
+// ProcessBatch feeds a whole batch to m through its BatchProcessor
+// fast path when it has one, falling back to per-request Process. The
+// two paths produce identical model state.
+func ProcessBatch(m Model, reqs []trace.Request) error {
+	if bp, ok := m.(BatchProcessor); ok {
+		return bp.ProcessBatch(reqs)
+	}
+	for _, req := range reqs {
+		if err := m.Process(req); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ProcessAll drains a reader into m, using the trace.BatchReader fast
 // path when available. It stops at the first Process error.
 func ProcessAll(m Model, r trace.Reader) error {

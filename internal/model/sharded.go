@@ -53,6 +53,9 @@ type Sharded struct {
 	bytes   bool
 	seen    telemetry.Counter
 	sampled telemetry.Counter
+	// scratch holds per-shard runs assembled by ProcessBatch, reused
+	// across calls (guarded by mu like the rest of the routing state).
+	scratch [][]trace.Request
 }
 
 // NewSharded builds workers instances of the named model — shard i
@@ -119,6 +122,40 @@ func (s *Sharded) Process(req trace.Request) error {
 	}
 	s.sampled.Inc()
 	s.pipe.Send(s.pipe.ShardOf(req.Key), req)
+	return nil
+}
+
+// ProcessBatch implements BatchProcessor: one lock acquisition and one
+// pipe append per shard for the whole batch, instead of per request.
+// Requests are partitioned into per-shard runs (arrival order preserved
+// within each shard, which is all the SPSC pipe guarantees anyway), so
+// the resulting model state is identical to per-request Process.
+func (s *Sharded) ProcessBatch(reqs []trace.Request) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.guard(); err != nil {
+		return err
+	}
+	s.seen.Add(uint64(len(reqs)))
+	if s.scratch == nil {
+		s.scratch = make([][]trace.Request, len(s.subs))
+	}
+	var admitted uint64
+	for _, req := range reqs {
+		if s.filter != nil && !s.filter.Sampled(req.Key) {
+			continue
+		}
+		admitted++
+		shard := s.pipe.ShardOf(req.Key)
+		s.scratch[shard] = append(s.scratch[shard], req)
+	}
+	s.sampled.Add(admitted)
+	for i, run := range s.scratch {
+		if len(run) > 0 {
+			s.pipe.SendBatch(i, run)
+			s.scratch[i] = run[:0]
+		}
+	}
 	return nil
 }
 

@@ -152,6 +152,32 @@ func (p *Pipe) Send(i int, req trace.Request) {
 	p.pending[i] = b
 }
 
+// SendBatch routes a whole slice of requests to shard i, equivalent to
+// calling Send for each element — identical per-shard request order
+// AND identical flush boundaries (the pending batch fills to BatchLen
+// and flushes exactly as the per-request path would) — but with the
+// append amortized to one copy per pending-buffer fill. Batched ingest
+// planes use it to hand frame-sized runs to a shard without paying the
+// per-request call. reqs is copied; the caller may recycle it
+// immediately. Same single-producer/never-after-Close contract as
+// Send.
+func (p *Pipe) SendBatch(i int, reqs []trace.Request) {
+	if p.closed {
+		panic("shardpipe: Send after Close")
+	}
+	b := p.pending[i]
+	for len(reqs) > 0 {
+		n := copy(b[len(b):BatchLen], reqs)
+		b = b[:len(b)+n]
+		reqs = reqs[n:]
+		if len(b) == BatchLen {
+			p.flush(i, b)
+			b = p.pool.Get().([]trace.Request)
+		}
+	}
+	p.pending[i] = b
+}
+
 // flush hands one batch to shard i's worker, recording batch
 // telemetry.
 func (p *Pipe) flush(i int, b []trace.Request) {

@@ -50,6 +50,95 @@ func TestCloseIdempotent(t *testing.T) {
 	}
 }
 
+// TestSendBatchEquivalence pins SendBatch bit-identical to the
+// per-request Send loop: same per-shard request sequences, same
+// per-shard consumed counts, and the same number of flushed batches
+// carrying the same request total — across chunk sizes straddling the
+// BatchLen boundary and across partial-fill states.
+func TestSendBatchEquivalence(t *testing.T) {
+	const workers = 3
+	const n = 4_000
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		reqs[i] = trace.Request{Key: uint64(i) * 0x9e3779b97f4a7c15, Size: uint32(i%500 + 1), Op: trace.Op(i % 3)}
+	}
+
+	type capture struct {
+		seqs    [][]trace.Request
+		batches uint64
+		reqs    uint64
+	}
+	run := func(send func(p *Pipe, shard int, chunk []trace.Request)) capture {
+		var c capture
+		c.seqs = make([][]trace.Request, workers)
+		p := New(workers, func(shard int, req trace.Request) {
+			c.seqs[shard] = append(c.seqs[shard], req)
+		})
+		// Route by key as real consumers do, feeding variable-size runs
+		// of same-shard requests through send.
+		var runStart, runShard = 0, p.ShardOf(reqs[0].Key)
+		for i := 1; i <= len(reqs); i++ {
+			if i < len(reqs) && p.ShardOf(reqs[i].Key) == runShard {
+				continue
+			}
+			send(p, runShard, reqs[runStart:i])
+			if i < len(reqs) {
+				runStart, runShard = i, p.ShardOf(reqs[i].Key)
+			}
+		}
+		p.Close()
+		c.batches = p.batches.Load()
+		c.reqs = p.batchReqs.Load()
+		return c
+	}
+
+	want := run(func(p *Pipe, shard int, chunk []trace.Request) {
+		for _, r := range chunk {
+			p.Send(shard, r)
+		}
+	})
+	got := run(func(p *Pipe, shard int, chunk []trace.Request) {
+		p.SendBatch(shard, chunk)
+	})
+
+	if got.batches != want.batches || got.reqs != want.reqs {
+		t.Fatalf("flush accounting differs: got %d batches/%d reqs, want %d/%d",
+			got.batches, got.reqs, want.batches, want.reqs)
+	}
+	for s := 0; s < workers; s++ {
+		if len(got.seqs[s]) != len(want.seqs[s]) {
+			t.Fatalf("shard %d: got %d requests, want %d", s, len(got.seqs[s]), len(want.seqs[s]))
+		}
+		for i := range got.seqs[s] {
+			if got.seqs[s][i] != want.seqs[s][i] {
+				t.Fatalf("shard %d: request %d = %+v, want %+v", s, i, got.seqs[s][i], want.seqs[s][i])
+			}
+		}
+	}
+
+	// Oversized single chunks (> BatchLen) split exactly like repeated
+	// Send too.
+	var count atomic.Uint64
+	p := New(1, func(int, trace.Request) { count.Add(1) })
+	p.SendBatch(0, reqs[:BatchLen*2+17])
+	p.Close()
+	if count.Load() != BatchLen*2+17 {
+		t.Fatalf("oversized chunk: consumed %d, want %d", count.Load(), BatchLen*2+17)
+	}
+}
+
+// TestSendBatchAfterClosePanicsClearly pins the shared contract.
+func TestSendBatchAfterClosePanicsClearly(t *testing.T) {
+	p := New(2, func(int, trace.Request) {})
+	p.Close()
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("SendBatch after Close did not panic")
+		}
+	}()
+	p.SendBatch(0, []trace.Request{{Key: 1}})
+}
+
 // TestShardSeedDistinct ensures derived shard seeds differ from each
 // other and from the base seed.
 func TestShardSeedDistinct(t *testing.T) {

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket latency/size histogram built from the
+// same ingredients as Counter: one atomic add per observation, no
+// locks, no allocation. Bucket upper bounds are fixed at construction
+// (a final implicit +Inf bucket catches the tail), so Observe is a
+// short linear scan over a handful of float compares — cheap enough
+// for per-frame instrumentation on the ingest hot path.
+//
+// Reads (Count, Sum, Quantile, exposition) are race-free snapshots of
+// the atomics and may run while writers observe. Cross-bucket reads
+// are not atomic as a group; like every Prometheus histogram, a scrape
+// may see a count that is mid-update by one observation, which is
+// harmless for monitoring.
+type Histogram struct {
+	bounds []float64 // strictly increasing upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram builds a histogram with the given strictly increasing
+// finite upper bounds. It panics on unsorted, duplicate, or non-finite
+// bounds (programming errors, same policy as Set registration).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram with no buckets")
+	}
+	own := make([]float64, len(bounds))
+	copy(own, bounds)
+	if !sort.Float64sAreSorted(own) {
+		panic("telemetry: histogram bounds not sorted")
+	}
+	for i, b := range own {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic("telemetry: histogram bound must be finite")
+		}
+		if i > 0 && own[i-1] == b {
+			panic("telemetry: duplicate histogram bound")
+		}
+	}
+	return &Histogram{bounds: own, counts: make([]atomic.Uint64, len(own)+1)}
+}
+
+// ExpBuckets returns n upper bounds growing geometrically from start
+// by factor — the usual latency bucket ladder. Panics on a
+// non-positive start, factor <= 1, or n < 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear
+// interpolation within the bucket holding the target rank, the same
+// estimate Prometheus's histogram_quantile computes. Values in the
+// +Inf bucket clamp to the largest finite bound. It returns 0 when the
+// histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// writePrometheus renders the histogram in the Prometheus text format:
+// cumulative le buckets, then _sum and _count. labels is the
+// pre-rendered label body ("" or `tenant="x"`); the le label composes
+// with it.
+func (h *Histogram) writePrometheus(w io.Writer, name, labels string) error {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n",
+			name, labels, sep, formatValue(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum); err != nil {
+		return err
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatValue(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, cum)
+	return err
+}
+
+// Histogram creates, registers and returns a histogram with the given
+// bucket upper bounds (see NewHistogram).
+func (s *Set) Histogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	s.RegisterHistogram(name, help, h)
+	return h
+}
+
+// RegisterHistogram appends an externally owned histogram — typically
+// a component's field, registered by its MetricsInto — under the same
+// naming rules as scalar metrics.
+func (s *Set) RegisterHistogram(name, help string, h *Histogram) {
+	if name == "" || h == nil {
+		panic("telemetry: register with empty name or nil histogram")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.names[name]; dup {
+		panic("telemetry: duplicate metric " + name)
+	}
+	s.names[name] = struct{}{}
+	s.metrics = append(s.metrics, metric{name: name, help: help, kind: KindHistogram, hist: h})
+}

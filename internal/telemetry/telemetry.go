@@ -54,16 +54,19 @@ type Kind string
 
 // Metric kinds.
 const (
-	KindCounter Kind = "counter"
-	KindGauge   Kind = "gauge"
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
 )
 
-// metric is one registered exposition entry.
+// metric is one registered exposition entry: a scalar reader, or a
+// histogram (read nil, hist set).
 type metric struct {
 	name string
 	help string
 	kind Kind
 	read func() float64
+	hist *Histogram
 }
 
 // Set is a named collection of metrics. Registration methods panic on
@@ -162,6 +165,12 @@ func (s *Set) WritePrometheusLabeled(w io.Writer, labels string, seen map[string
 				return err
 			}
 		}
+		if m.hist != nil {
+			if err := m.hist.writePrometheus(w, m.name, labels); err != nil {
+				return err
+			}
+			continue
+		}
 		if _, err := fmt.Fprintf(w, "%s%s %s\n", m.name, suffix, formatValue(m.read())); err != nil {
 			return err
 		}
@@ -203,6 +212,13 @@ func (s *Set) Expvar() expvar.Func {
 	return func() any {
 		out := make(map[string]float64, len(s.metrics))
 		for _, m := range s.snapshot() {
+			if m.hist != nil {
+				out[m.name+"_count"] = float64(m.hist.Count())
+				out[m.name+"_sum"] = m.hist.Sum()
+				out[m.name+"_p50"] = m.hist.Quantile(0.50)
+				out[m.name+"_p99"] = m.hist.Quantile(0.99)
+				continue
+			}
 			out[m.name] = m.read()
 		}
 		return out

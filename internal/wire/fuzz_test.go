@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+
+	"krr/internal/trace"
+)
+
+// FuzzReadHeader pins that arbitrary bytes never panic the header
+// parser and that a successful parse round-trips.
+func FuzzReadHeader(f *testing.F) {
+	var seed bytes.Buffer
+	WriteHeader(&seed, "tenant")
+	f.Add(seed.Bytes())
+	f.Add([]byte("KRW1"))
+	f.Add([]byte("KRW1\x01\x00"))
+	f.Add([]byte("KRW1\x01\xfftoo-short"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tenant, err := ReadHeader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if werr := WriteHeader(&out, tenant); werr != nil {
+			t.Fatalf("accepted tenant %q does not re-encode: %v", tenant, werr)
+		}
+		if !bytes.HasPrefix(data, out.Bytes()) {
+			t.Fatalf("parsed header %x is not a prefix of input %x", out.Bytes(), data)
+		}
+	})
+}
+
+// FuzzDecoder pins the frame loop against hostile streams: truncated
+// frames, bad counts and garbage must error (never panic), oversized
+// length prefixes must be rejected before any allocation is sized from
+// them, and whatever decodes must survive an encode→decode round trip
+// record for record (wire padding bytes are ignored on decode, so the
+// round trip is semantic, not byte-exact).
+func FuzzDecoder(f *testing.F) {
+	f.Add(AppendFrame(nil, testReqs(3)), false)
+	f.Add(AppendFrame(AppendFrame(nil, testReqs(1)), testReqs(0)), true)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}, false)
+	f.Add([]byte{1, 0, 0, 0, 42}, true)
+	f.Add([]byte{}, false)
+	f.Fuzz(func(t *testing.T, data []byte, fallback bool) {
+		pool := &BatchPool{}
+		dec := NewDecoder(bufio.NewReader(bytes.NewReader(data)), pool)
+		dec.forceFallback = fallback
+		var all []trace.Request
+		var reenc []byte
+		for {
+			n, err := dec.NextCount()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return // rejected, fine — just must not panic
+			}
+			if n > MaxFrameRecords {
+				t.Fatalf("NextCount accepted %d > MaxFrameRecords", n)
+			}
+			batch, err := dec.ReadBatch(n)
+			if err != nil {
+				return
+			}
+			if len(batch) != n {
+				t.Fatalf("ReadBatch(%d) returned %d records", n, len(batch))
+			}
+			all = append(all, batch...)
+			reenc = AppendFrame(reenc, batch)
+			dec.Recycle(batch)
+		}
+		// Clean EOF: the decoded stream must round-trip through our own
+		// encoder on the opposite decode path.
+		dec2 := NewDecoder(bufio.NewReader(bytes.NewReader(reenc)), pool)
+		dec2.forceFallback = !fallback
+		i := 0
+		for {
+			n, err := dec2.NextCount()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("re-decode count: %v", err)
+			}
+			batch, err := dec2.ReadBatch(n)
+			if err != nil {
+				t.Fatalf("re-decode batch: %v", err)
+			}
+			for _, r := range batch {
+				if r != all[i] {
+					t.Fatalf("record %d: round trip %+v != %+v", i, r, all[i])
+				}
+				i++
+			}
+			dec2.Recycle(batch)
+		}
+		if i != len(all) {
+			t.Fatalf("round trip decoded %d records, want %d", i, len(all))
+		}
+	})
+}
+
+// FuzzDecoderDiscard pins the shedding path against the same hostile
+// streams: Discard must consume exactly what ReadBatch would have.
+func FuzzDecoderDiscard(f *testing.F) {
+	f.Add(AppendFrame(AppendFrame(nil, testReqs(5)), testReqs(2)))
+	f.Add([]byte{0, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		read := NewDecoder(bufio.NewReader(bytes.NewReader(data)), nil)
+		skip := NewDecoder(bufio.NewReader(bytes.NewReader(data)), nil)
+		for {
+			n1, err1 := read.NextCount()
+			n2, err2 := skip.NextCount()
+			if (err1 == nil) != (err2 == nil) || n1 != n2 {
+				t.Fatalf("count divergence: %d,%v vs %d,%v", n1, err1, n2, err2)
+			}
+			if err1 != nil {
+				return
+			}
+			var batch []trace.Request
+			batch, err1 = read.ReadBatch(n1)
+			err2 = skip.Discard(n2)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("payload divergence: %v vs %v", err1, err2)
+			}
+			if err1 != nil {
+				return
+			}
+			read.Recycle(batch)
+		}
+	})
+}

@@ -1,0 +1,258 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+
+	"krr/internal/trace"
+)
+
+func testReqs(n int) []trace.Request {
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		reqs[i] = trace.Request{
+			Key:  uint64(i) * 0x9e3779b97f4a7c15,
+			Size: uint32(i%4096 + 1),
+			Op:   trace.Op(i % 3),
+		}
+	}
+	return reqs
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHeader(&buf, "tenant-42"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHeader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "tenant-42" {
+		t.Fatalf("tenant = %q", got)
+	}
+
+	if err := WriteHeader(io.Discard, ""); err == nil {
+		t.Fatal("empty tenant accepted")
+	}
+	if err := WriteHeader(io.Discard, strings.Repeat("x", 256)); err == nil {
+		t.Fatal("oversized tenant accepted")
+	}
+	if _, err := ReadHeader(strings.NewReader("XXXX\x01\x01t")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ReadHeader(strings.NewReader("KRW1\x07\x01t")); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+// TestFrameRoundTrip pins both decode paths — the zero-copy memcpy and
+// the per-record fallback — to the identical result.
+func TestFrameRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 256, 4096} {
+		reqs := testReqs(n)
+		frame := AppendFrame(nil, reqs)
+		if len(frame) != 4+n*RecordSize {
+			t.Fatalf("n=%d: frame length %d, want %d", n, len(frame), 4+n*RecordSize)
+		}
+		for _, fallback := range []bool{false, true} {
+			dec := NewDecoder(bufio.NewReader(bytes.NewReader(frame)), nil)
+			dec.forceFallback = fallback
+			count, err := dec.NextCount()
+			if err != nil || count != n {
+				t.Fatalf("n=%d fallback=%v: NextCount = %d, %v", n, fallback, count, err)
+			}
+			batch, err := dec.ReadBatch(count)
+			if err != nil {
+				t.Fatalf("n=%d fallback=%v: ReadBatch: %v", n, fallback, err)
+			}
+			if len(batch) != n {
+				t.Fatalf("n=%d fallback=%v: decoded %d", n, fallback, len(batch))
+			}
+			for i := range batch {
+				if batch[i] != reqs[i] {
+					t.Fatalf("n=%d fallback=%v: record %d = %+v, want %+v", n, fallback, i, batch[i], reqs[i])
+				}
+			}
+			dec.Recycle(batch)
+			if _, err := dec.NextCount(); err != io.EOF {
+				t.Fatalf("n=%d fallback=%v: trailing read = %v, want EOF", n, fallback, err)
+			}
+		}
+	}
+}
+
+// TestOversizedCountRejected pins the over-allocation guard: a hostile
+// length prefix errors out before any buffer is sized from it.
+func TestOversizedCountRejected(t *testing.T) {
+	var frame []byte
+	frame = binary.LittleEndian.AppendUint32(frame, MaxFrameRecords+1)
+	dec := NewDecoder(bufio.NewReader(bytes.NewReader(frame)), nil)
+	if _, err := dec.NextCount(); err == nil {
+		t.Fatal("count > MaxFrameRecords accepted")
+	}
+	frame = binary.LittleEndian.AppendUint32(frame[:0], 0xffffffff)
+	dec = NewDecoder(bufio.NewReader(bytes.NewReader(frame)), nil)
+	if _, err := dec.NextCount(); err == nil {
+		t.Fatal("count 2^32-1 accepted")
+	}
+}
+
+// TestTruncatedFrame pins truncation behaviour: mid-prefix and
+// mid-payload cuts are ErrBadFrame, a cut exactly at a frame boundary
+// is clean EOF.
+func TestTruncatedFrame(t *testing.T) {
+	reqs := testReqs(10)
+	frame := AppendFrame(nil, reqs)
+	for _, cut := range []int{1, 3, 4 + 5, len(frame) - 1} {
+		for _, fallback := range []bool{false, true} {
+			dec := NewDecoder(bufio.NewReader(bytes.NewReader(frame[:cut])), nil)
+			dec.forceFallback = fallback
+			n, err := dec.NextCount()
+			if err == nil {
+				_, err = dec.ReadBatch(n)
+			}
+			if err == nil {
+				t.Fatalf("cut=%d fallback=%v: truncated frame accepted", cut, fallback)
+			}
+		}
+	}
+	dec := NewDecoder(bufio.NewReader(bytes.NewReader(frame)), nil)
+	n, _ := dec.NextCount()
+	b, err := dec.ReadBatch(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.Recycle(b)
+	if _, err := dec.NextCount(); err != io.EOF {
+		t.Fatalf("frame-boundary end = %v, want io.EOF", err)
+	}
+}
+
+// TestDiscard pins the shedding path: Discard consumes exactly the
+// frame payload so the next frame parses.
+func TestDiscard(t *testing.T) {
+	frame := AppendFrame(nil, testReqs(100))
+	frame = AppendFrame(frame, testReqs(3))
+	dec := NewDecoder(bufio.NewReader(bytes.NewReader(frame)), nil)
+	n, err := dec.NextCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Discard(n); err != nil {
+		t.Fatal(err)
+	}
+	n, err = dec.NextCount()
+	if err != nil || n != 3 {
+		t.Fatalf("after discard: count = %d, %v", n, err)
+	}
+	b, err := dec.ReadBatch(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.Recycle(b)
+}
+
+// TestDecodeHotPathAllocFree pins the tentpole claim: decoding frames
+// through the pooled batch cycle allocates nothing per request — and
+// nothing at all in steady state — on either decode path.
+func TestDecodeHotPathAllocFree(t *testing.T) {
+	const perFrame = 4096
+	frame := AppendFrame(nil, testReqs(perFrame))
+	stream := bytes.NewReader(nil)
+	br := bufio.NewReaderSize(stream, 1<<18)
+	pool := &BatchPool{}
+	for _, fallback := range []bool{false, true} {
+		dec := NewDecoder(br, pool)
+		dec.forceFallback = fallback
+		// Warm the pool and the fallback scratch.
+		stream.Reset(frame)
+		br.Reset(stream)
+		n, _ := dec.NextCount()
+		b, err := dec.ReadBatch(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec.Recycle(b)
+
+		var sink uint64
+		allocs := testing.AllocsPerRun(100, func() {
+			stream.Reset(frame)
+			br.Reset(stream)
+			n, err := dec.NextCount()
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, err := dec.ReadBatch(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range batch {
+				sink += batch[i].Key
+			}
+			dec.Recycle(batch)
+		})
+		if allocs != 0 {
+			t.Fatalf("fallback=%v: %v allocs per %d-request frame, want 0", fallback, allocs, perFrame)
+		}
+		_ = sink
+	}
+}
+
+// TestBatchPool pins the free-list behaviour.
+func TestBatchPool(t *testing.T) {
+	var p BatchPool
+	b := p.Get(100)
+	if cap(b) < 100 {
+		t.Fatalf("cap %d < 100", cap(b))
+	}
+	p.Put(b)
+	b2 := p.Get(50)
+	if cap(b2) < 100 {
+		t.Fatal("pool did not recycle the larger buffer")
+	}
+	p.Put(b2)
+	// Bounded: pounding Put never grows past maxPooledBatches.
+	for i := 0; i < 3*maxPooledBatches; i++ {
+		p.Put(make([]trace.Request, 0, 8))
+	}
+	if len(p.free) > maxPooledBatches {
+		t.Fatalf("free list %d > bound %d", len(p.free), maxPooledBatches)
+	}
+}
+
+func BenchmarkDecodeFrame(b *testing.B) {
+	const perFrame = 4096
+	frame := AppendFrame(nil, testReqs(perFrame))
+	stream := bytes.NewReader(nil)
+	br := bufio.NewReaderSize(stream, 1<<18)
+	for _, bench := range []struct {
+		name     string
+		fallback bool
+	}{{"zerocopy", false}, {"fallback", true}} {
+		b.Run(bench.name, func(b *testing.B) {
+			if bench.name == "zerocopy" && !zeroCopy {
+				b.Skip("layout mismatch on this platform")
+			}
+			dec := NewDecoder(br, &BatchPool{})
+			dec.forceFallback = bench.fallback
+			b.SetBytes(perFrame * RecordSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stream.Reset(frame)
+				br.Reset(stream)
+				n, _ := dec.NextCount()
+				batch, err := dec.ReadBatch(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dec.Recycle(batch)
+			}
+		})
+	}
+}

@@ -46,6 +46,12 @@ go test -count=1 -run TestServeSmoke ./cmd/krrserve/
 echo "== fleet smoke (3 tenants, shared budget, /allocate plan checks)"
 go test -count=1 -run TestFleetSmoke ./cmd/krrserve/
 
+echo "== ingest smoke (krrload -> krrserve wire plane over loopback, zero drops)"
+go test -count=1 -run TestIngestSmoke ./cmd/krrserve/
+
+echo "== wire hot-path alloc guard (decode must stay allocation-free)"
+go test -count=1 -run TestDecodeHotPathAllocFree ./internal/wire/
+
 echo "== bench smoke (Table 5.3, 100x)"
 go test -run=NONE -bench=Table5_3 -benchtime=100x .
 
