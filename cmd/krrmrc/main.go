@@ -44,6 +44,7 @@ func main() {
 		rate        = flag.Float64("rate", 0, "spatial sampling rate (0 = off / model default)")
 		workers     = flag.Int("workers", 0, "sharded pipeline workers (<=1 = serial)")
 		bucketRatio = flag.Float64("bucket-ratio", 0, "krr-bucket geometric bucket ratio (0 = default)")
+		alpha       = flag.Float64("alpha", 0, "che/fagin fallback Zipf exponent for degenerate fits (0 = default)")
 		points      = flag.Int("points", 25, "simulated sizes (sim and opt models)")
 		seed        = flag.Uint64("seed", 42, "random seed")
 		format      = flag.String("format", "csv", "output format: csv or json")
@@ -94,12 +95,13 @@ func main() {
 			fatal(fmt.Errorf("unknown bytes mode %q", *bytesMode))
 		}
 		m, err := model.New(name, model.Options{
-			K:            *k,
-			Seed:         *seed,
-			SamplingRate: *rate,
-			Bytes:        bm,
-			Workers:      *workers,
-			BucketRatio:  *bucketRatio,
+			K:             *k,
+			Seed:          *seed,
+			SamplingRate:  *rate,
+			Bytes:         bm,
+			Workers:       *workers,
+			BucketRatio:   *bucketRatio,
+			AnalyticAlpha: *alpha,
 		})
 		if err != nil {
 			fatal(err)

@@ -97,6 +97,7 @@ func main() {
 		workers     = flag.Int("workers", 1, "shard workers (>1 requires a CapSharded model)")
 		bytes       = flag.String("bytes", "off", "byte mode: off|on|uniform|sizearray|fenwick")
 		bucketRatio = flag.Float64("bucket-ratio", 0, "krr-bucket geometric bucket ratio (0 = default)")
+		alpha       = flag.Float64("alpha", 0, "che/fagin fallback Zipf exponent for degenerate fits (0 = default)")
 		memBudget   = flag.Int64("memory-budget", 0, "global model-footprint budget in bytes (0 = unlimited)")
 		maxTenants  = flag.Int("max-tenants", 0, "tenant cap, LRU-evicted past it (0 = unlimited)")
 		idleTTL     = flag.Duration("idle-ttl", 0, "evict tenants idle this long (0 = never)")
@@ -113,7 +114,7 @@ func main() {
 			Model: *name,
 			Options: model.Options{
 				K: *k, Seed: *seed, SamplingRate: *rate, Bytes: mode,
-				Workers: *workers, BucketRatio: *bucketRatio,
+				Workers: *workers, BucketRatio: *bucketRatio, AnalyticAlpha: *alpha,
 			},
 		},
 		MemoryBudgetBytes: *memBudget,
@@ -282,6 +283,7 @@ type tenantSpec struct {
 	Workers     int     `json:"workers"`
 	Bytes       string  `json:"bytes"`
 	BucketRatio float64 `json:"bucket_ratio"`
+	Alpha       float64 `json:"alpha"`
 }
 
 func (s *server) handleTenantCreate(w http.ResponseWriter, r *http.Request) {
@@ -304,6 +306,7 @@ func (s *server) handleTenantCreate(w http.ResponseWriter, r *http.Request) {
 		Options: model.Options{
 			K: spec.K, Seed: spec.Seed, SamplingRate: spec.Rate,
 			Bytes: mode, Workers: spec.Workers, BucketRatio: spec.BucketRatio,
+			AnalyticAlpha: spec.Alpha,
 		},
 	})
 	if errors.Is(err, fleet.ErrTenantExists) {

@@ -114,7 +114,7 @@ func Analyze(r trace.Reader) (Report, error) {
 	rep.TopShare1 = share(1)
 	rep.TopShare10 = share(10)
 	rep.TopShare100 = share(100)
-	rep.ZipfAlphaFit = zipfFit(freqs)
+	rep.ZipfAlphaFit = ZipfFit(freqs)
 
 	// Reuse percentiles from the log histogram.
 	rep.ReuseP50 = histPercentile(reuse, 0.50)
@@ -132,15 +132,28 @@ func Analyze(r trace.Reader) (Report, error) {
 		}
 	}
 	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
-	rep.MeanObjectSize = sizeSum / float64(len(sizes))
-	rep.MedianObjectSize = sizes[len(sizes)/2]
+	// A trace can have requests but no sized objects (delete-only
+	// streams): without the guard the mean is 0/0 = NaN and the median
+	// index panics. Size statistics stay zero-valued instead.
+	if len(sizes) > 0 {
+		rep.MeanObjectSize = sizeSum / float64(len(sizes))
+		rep.MedianObjectSize = sizes[len(sizes)/2]
+	}
 	return rep, nil
 }
 
-// zipfFit estimates the Zipf exponent by least-squares regression of
-// log(frequency) on log(rank) over the informative head (ranks up to
-// 1000, frequencies > 1).
-func zipfFit(sortedFreqs []uint64) float64 {
+// ZipfFit estimates the Zipf exponent by least-squares regression of
+// log(frequency) on log(rank) over the informative head of a
+// descending rank-frequency list (ranks up to 1000, frequencies > 1).
+//
+// It returns 0 — the degenerate-fit sentinel — when the head carries
+// no usable power law: fewer than 3 ranks with frequency > 1 (e.g.
+// every key referenced at most once), or a constant/non-decreasing
+// head whose regression slope is not negative. Callers that need a
+// working exponent (the cheform popularity fitter) must treat 0 as
+// "no fit" and substitute their own default rather than feeding a
+// zero exponent into downstream formulas.
+func ZipfFit(sortedFreqs []uint64) float64 {
 	var xs, ys []float64
 	for i, f := range sortedFreqs {
 		if i >= 1000 || f <= 1 {
@@ -165,29 +178,46 @@ func zipfFit(sortedFreqs []uint64) float64 {
 		return 0
 	}
 	slope := (n*sxy - sx*sy) / denom
+	if slope >= -1e-9 {
+		// Frequencies are sorted descending, so a flat slope — exactly
+		// 0 on constant heads up to float summation noise — or a
+		// numerically positive one means there is no power law to fit.
+		return 0
+	}
 	return -slope
 }
 
-// histPercentile returns the p-quantile distance of a log histogram.
+// histPercentile returns the p-quantile distance of a log histogram:
+// the smallest recorded distance with at least ⌈p·total⌉ samples at
+// or below it, matching telemetry.Histogram.Quantile's ceiling-rank
+// convention. The floor of the previous implementation truncated the
+// rank — a single sample at p = 0.5 targeted rank 0 and always
+// reported the first bucket; the ceiling (clamped to [1, total])
+// lands p = 0 on the smallest recorded distance, p = 1 on the
+// largest, and any p on the one sample of a total = 1 histogram.
 func histPercentile(h *histogram.Log, p float64) uint64 {
 	total := h.Total() - h.Cold()
 	if total == 0 {
 		return 0
 	}
-	target := uint64(p * float64(total))
+	rank := uint64(math.Ceil(p * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
 	var cum, result uint64
+	done := false
 	h.Buckets(func(d, c uint64) {
-		if cum < target {
-			result = d
+		if done {
+			return
 		}
 		cum += c
+		if cum >= rank {
+			result = d
+			done = true
+		}
 	})
-	if result == 0 {
-		h.Buckets(func(d, _ uint64) {
-			if result == 0 {
-				result = d
-			}
-		})
-	}
 	return result
 }

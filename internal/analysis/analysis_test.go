@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"krr/internal/histogram"
 	"krr/internal/trace"
 	"krr/internal/workload"
 )
@@ -132,5 +133,106 @@ func TestMSRPresetsShapeSanity(t *testing.T) {
 	if typeB.TopShare100 <= typeA.TopShare100 {
 		t.Fatalf("hotspot preset head share %v not above scan preset %v",
 			typeB.TopShare100, typeA.TopShare100)
+	}
+}
+
+// --- Issue 9 regression tests: degenerate traces and rank rounding ---
+
+func TestSingleRecordTrace(t *testing.T) {
+	tr := &trace.Trace{Reqs: []trace.Request{{Key: 7, Size: 128, Op: trace.OpGet}}}
+	rep, err := Analyze(tr.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 1 || rep.DistinctObjects != 1 {
+		t.Fatalf("unexpected counts: %+v", rep)
+	}
+	if rep.MeanObjectSize != 128 || rep.MedianObjectSize != 128 || rep.MaxObjectSize != 128 {
+		t.Errorf("size stats wrong on single-record trace: %+v", rep)
+	}
+	if rep.ZipfAlphaFit != 0 {
+		t.Errorf("one-point popularity must hit the degenerate-fit sentinel, got %v", rep.ZipfAlphaFit)
+	}
+}
+
+// TestDeleteOnlyTraceNoPanic pins the size-stats crash: a trace with
+// requests but no sized objects (delete-only stream) used to panic on
+// sizes[len(sizes)/2] and emit a 0/0 NaN mean. The report must come
+// back zero-valued instead.
+func TestDeleteOnlyTraceNoPanic(t *testing.T) {
+	tr := &trace.Trace{Reqs: []trace.Request{
+		{Key: 1, Op: trace.OpDelete},
+		{Key: 2, Op: trace.OpDelete},
+	}}
+	rep, err := Analyze(tr.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 2 || rep.DeleteRatio != 1 {
+		t.Fatalf("unexpected op mix: %+v", rep)
+	}
+	if math.IsNaN(rep.MeanObjectSize) || rep.MeanObjectSize != 0 || rep.MedianObjectSize != 0 {
+		t.Errorf("size stats must be zero-valued on a size-less trace: mean=%v median=%d",
+			rep.MeanObjectSize, rep.MedianObjectSize)
+	}
+}
+
+// TestHistPercentileBoundaries pins the ceiling-rank convention: p=0
+// lands on the smallest recorded distance, p=1 on the largest, and a
+// total=1 histogram reports its one sample at every p (the floor
+// truncation used to target rank 0 and always report the first
+// bucket).
+func TestHistPercentileBoundaries(t *testing.T) {
+	single := histogram.NewLog()
+	single.Add(300)
+	var want uint64
+	single.Buckets(func(d, _ uint64) { want = d })
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := histPercentile(single, p); got != want {
+			t.Errorf("total=1: p=%v returned %d, want the single sample bucket %d", p, got, want)
+		}
+	}
+
+	multi := histogram.NewLog()
+	multi.Add(1)
+	multi.Add(50)
+	multi.Add(4000)
+	var buckets []uint64
+	multi.Buckets(func(d, _ uint64) { buckets = append(buckets, d) })
+	if got := histPercentile(multi, 0); got != buckets[0] {
+		t.Errorf("p=0 returned %d, want first bucket %d", got, buckets[0])
+	}
+	if got := histPercentile(multi, 1); got != buckets[len(buckets)-1] {
+		t.Errorf("p=1 returned %d, want last bucket %d", got, buckets[len(buckets)-1])
+	}
+	// Median of three samples is the middle one by ceiling rank
+	// (⌈0.5·3⌉ = 2).
+	if got := histPercentile(multi, 0.5); got != buckets[1] {
+		t.Errorf("p=0.5 returned %d, want middle bucket %d", got, buckets[1])
+	}
+
+	if got := histPercentile(histogram.NewLog(), 0.5); got != 0 {
+		t.Errorf("empty histogram returned %d, want 0", got)
+	}
+}
+
+// TestZipfFitDegenerate pins the documented 0 sentinel: heads with
+// fewer than 3 informative ranks, all-singleton frequencies, and
+// constant (zero-slope) heads must all return exactly 0.
+func TestZipfFitDegenerate(t *testing.T) {
+	cases := [][]uint64{
+		nil,
+		{},
+		{1, 1, 1, 1, 1},
+		{9, 4},
+		{5, 5, 5, 5, 5, 5},
+	}
+	for _, freqs := range cases {
+		if got := ZipfFit(freqs); got != 0 {
+			t.Errorf("ZipfFit(%v) = %v, want the 0 sentinel", freqs, got)
+		}
+	}
+	if got := ZipfFit([]uint64{400, 200, 100, 50, 25}); got <= 0 {
+		t.Errorf("genuine power law returned sentinel: %v", got)
 	}
 }

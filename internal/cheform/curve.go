@@ -1,0 +1,222 @@
+package cheform
+
+import (
+	"math"
+	"sort"
+
+	"krr/internal/mrc"
+)
+
+// segment is a run of popularity ranks sharing one per-key reference
+// probability; the closed-form sums run over segments instead of keys,
+// so one solver evaluation costs O(head runs + tail buckets), not
+// O(distinct keys).
+type segment struct {
+	n float64 // ranks covered
+	p float64 // per-key reference probability
+}
+
+const (
+	// tailBucketRatio is the geometric growth of the tail's rank
+	// buckets: the i^(−α) weight is near-constant within a 1.25× rank
+	// span, so bucketing the tail costs ~log(N) segments for
+	// negligible model error.
+	tailBucketRatio = 1.25
+	// bisectIters fixes the characteristic-time bisection depth; 64
+	// halvings resolve T to full float precision from any bracket.
+	bisectIters = 64
+)
+
+// buildSegments assembles the hybrid popularity model: exact head
+// runs from the guaranteed sketch counts, then a power-law tail over
+// the remaining ranks carrying the mass the head could not attribute.
+func buildSegments(fit Fit) []segment {
+	R := float64(fit.Requests)
+	segs := make([]segment, 0, len(fit.Head)+64)
+	var headMass, headRanks float64
+	for _, run := range fit.Head {
+		segs = append(segs, segment{n: float64(run.Ranks), p: float64(run.Count) / R})
+		headMass += float64(run.Count) * float64(run.Ranks) / R
+		headRanks += float64(run.Ranks)
+	}
+	tailMass := 1 - headMass
+	// The continuum maps rank i to the interval [i−1, i], so the tail
+	// integral starts at the last head rank — or at 0.5 when the head
+	// is empty, keeping the first rank's weight finite for α ≥ 1.
+	x0 := headRanks
+	if x0 < 0.5 {
+		x0 = 0.5
+	}
+	tailRanks := fit.Distinct - x0
+	if tailRanks < 1 || tailMass <= 0 {
+		return segs
+	}
+	// Geometric rank buckets over (x0, Distinct], weighted by the
+	// closed-form integral of x^(−α) across each bucket.
+	type bucket struct{ n, w float64 }
+	var buckets []bucket
+	var wTotal float64
+	for x := x0; x < fit.Distinct; {
+		next := x * tailBucketRatio
+		if next < x+1 {
+			next = x + 1
+		}
+		if next > fit.Distinct {
+			next = fit.Distinct
+		}
+		w := powIntegral(x, next, fit.Alpha)
+		if w < 0 {
+			w = 0
+		}
+		buckets = append(buckets, bucket{n: next - x, w: w})
+		wTotal += w
+		x = next
+	}
+	if wTotal <= 0 {
+		// Degenerate integral (extreme α underflow): fall back to a
+		// uniform tail.
+		for _, b := range buckets {
+			segs = append(segs, segment{n: b.n, p: tailMass / tailRanks})
+		}
+		return segs
+	}
+	for _, b := range buckets {
+		segs = append(segs, segment{n: b.n, p: tailMass * b.w / wTotal / b.n})
+	}
+	return segs
+}
+
+// powIntegral is ∫ x^(−α) dx over [x1, x2].
+func powIntegral(x1, x2, alpha float64) float64 {
+	if math.Abs(alpha-1) < 1e-9 {
+		return math.Log(x2 / x1)
+	}
+	e := 1 - alpha
+	return (math.Pow(x2, e) - math.Pow(x1, e)) / e
+}
+
+// decay is the variant's P(key absent from the cache): e^(−p·T) for
+// Che, (1−p)^T for Fagin (computed as e^(T·log1p(−p)) so tiny p stays
+// exact).
+func decay(v Variant, p, t float64) float64 {
+	if p <= 0 {
+		return 1
+	}
+	if v == Fagin {
+		if p >= 1 {
+			return 0
+		}
+		return math.Exp(t * math.Log1p(-p))
+	}
+	return math.Exp(-p * t)
+}
+
+// occupancy is the expected number of cached keys at characteristic
+// time t — the right-hand side of the characteristic equation.
+func occupancy(segs []segment, v Variant, t float64) float64 {
+	var sum float64
+	for _, s := range segs {
+		sum += s.n * (1 - decay(v, s.p, t))
+	}
+	return sum
+}
+
+// charTime solves the characteristic equation occupancy(T) = C by
+// bracket doubling plus bisection. occupancy is continuous and
+// non-decreasing in T, so once a bracket [0, hi] with
+// occupancy(hi) ≥ C exists, bisection converges unconditionally; when
+// C exceeds the attainable occupancy the doubling loop caps out and
+// the returned T drives every decay term to 0, which is the correct
+// limit (the cache holds everything that is ever referenced).
+func charTime(segs []segment, v Variant, c float64) float64 {
+	hi := 1.0
+	for i := 0; i < 200 && occupancy(segs, v, hi) < c; i++ {
+		hi *= 2
+	}
+	lo := 0.0
+	for i := 0; i < bisectIters; i++ {
+		mid := lo + (hi-lo)/2
+		if occupancy(segs, v, mid) < c {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2
+}
+
+// missRatio is the stationary closed-form miss ratio at
+// characteristic time t, normalized over the modeled mass (the head's
+// sketch error keeps Σ n·p slightly below 1).
+func missRatio(segs []segment, v Variant, t float64) float64 {
+	var num, den float64
+	for _, s := range segs {
+		m := s.n * s.p
+		num += m * decay(v, s.p, t)
+		den += m
+	}
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// sizeGrid returns the cache sizes (in keys) the curve is evaluated
+// at: a power-of-two ladder resolving the steep head plus an even
+// grid out to the distinct-key estimate.
+func sizeGrid(n float64, points int) []float64 {
+	if n <= 1 {
+		return []float64{n}
+	}
+	grid := make([]float64, 0, points+64)
+	for c := 1.0; c < n; c *= 2 {
+		grid = append(grid, c)
+	}
+	step := n / float64(points)
+	if step < 1 {
+		step = 1
+	}
+	for c := step; c < n; c += step {
+		grid = append(grid, c)
+	}
+	grid = append(grid, n)
+	sort.Float64s(grid)
+	return grid
+}
+
+// buildCurve evaluates the closed form over the size grid, applies
+// the finite-trace correction C/R (see the package comment), and
+// enforces the curve invariants: clamped to [0, 1] and monotone
+// non-increasing (the +C/R term can tilt the flat tail upward by
+// O(1/R), which the running minimum flattens back).
+func buildCurve(fit Fit, cfg Config, scale float64) *mrc.Curve {
+	c := &mrc.Curve{Sizes: []uint64{0}, Miss: []float64{1}, Interp: mrc.InterpLinear}
+	if fit.Requests == 0 || fit.Distinct < 1 {
+		return c
+	}
+	segs := buildSegments(fit)
+	r := float64(fit.Requests)
+	prev := 1.0
+	for _, keys := range sizeGrid(fit.Distinct, cfg.Points) {
+		t := charTime(segs, cfg.Variant, keys)
+		m := missRatio(segs, cfg.Variant, t) + keys/r
+		if m > prev {
+			m = prev
+		}
+		if m < 0 {
+			m = 0
+		}
+		prev = m
+		size := uint64(keys*scale + 0.5)
+		if size == 0 {
+			size = 1
+		}
+		if last := len(c.Sizes) - 1; c.Sizes[last] == size {
+			c.Miss[last] = m
+			continue
+		}
+		c.Sizes = append(c.Sizes, size)
+		c.Miss = append(c.Miss, m)
+	}
+	return c
+}

@@ -1,0 +1,67 @@
+package cheform
+
+import (
+	"math"
+	"math/bits"
+
+	"krr/internal/hashing"
+)
+
+const (
+	// hllPrecision fixes the register count at 4096 (~4 KB), giving a
+	// relative standard error of 1.04/√4096 ≈ 1.6% — ample for a
+	// distinct estimate that only positions the power-law tail.
+	hllPrecision = 12
+	hllRegisters = 1 << hllPrecision
+)
+
+// hll is a fixed-precision HyperLogLog cardinality estimator over the
+// repository's SplitMix64 key mixer (Flajolet et al. '07, with the
+// HLL++ linear-counting small-range correction). Fully deterministic:
+// no seed, no sampling.
+type hll struct {
+	reg [hllRegisters]uint8
+}
+
+func newHLL() *hll { return &hll{} }
+
+// Add observes one key.
+func (h *hll) Add(key uint64) {
+	x := hashing.Mix64(key)
+	idx := x >> (64 - hllPrecision)
+	w := x << hllPrecision
+	var rank uint8
+	if w == 0 {
+		rank = 64 - hllPrecision + 1
+	} else {
+		rank = uint8(bits.LeadingZeros64(w)) + 1
+	}
+	if h.reg[idx] < rank {
+		h.reg[idx] = rank
+	}
+}
+
+// Estimate returns the estimated number of distinct keys observed.
+func (h *hll) Estimate() float64 {
+	const m = float64(hllRegisters)
+	var sum float64
+	zeros := 0
+	for _, r := range h.reg {
+		sum += math.Exp2(-float64(r))
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := 0.7213 / (1 + 1.079/m)
+	e := alpha * m * m / sum
+	// Small-range correction: linear counting is more accurate while
+	// empty registers remain. With 64-bit hashes no large-range
+	// correction is needed.
+	if e <= 2.5*m && zeros > 0 {
+		e = m * math.Log(m/float64(zeros))
+	}
+	return e
+}
+
+// memBytes reports the register array size.
+func (h *hll) memBytes() uint64 { return hllRegisters }

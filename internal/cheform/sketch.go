@@ -1,0 +1,130 @@
+package cheform
+
+import "sort"
+
+// tkEntry is one Space-Saving counter. err is the count the entry
+// inherited when it took over an evicted counter, so count − err is a
+// guaranteed lower bound on the key's true frequency (Metwally,
+// Agrawal & El Abbadi '05).
+type tkEntry struct {
+	key   uint64
+	count uint64
+	err   uint64
+	seq   uint64
+}
+
+// topk is a deterministic Space-Saving heavy-hitter sketch: a
+// min-heap of counters ordered by (count, seq) over a key index.
+// The monotone sequence number breaks count ties, so eviction order —
+// and therefore the whole sketch state — is a pure function of the
+// request stream, never of Go map iteration order. That determinism
+// is what lets the model layer promise bit-identical curves for
+// identical streams.
+type topk struct {
+	limit int
+	heap  []tkEntry
+	pos   map[uint64]int // key → heap index
+	seq   uint64
+}
+
+func newTopK(limit int) *topk {
+	return &topk{limit: limit, pos: make(map[uint64]int, limit)}
+}
+
+// Observe counts one reference. Tracked keys increment in place; an
+// untracked key either fills a free counter or takes over the
+// minimum one, inheriting its count as error.
+func (t *topk) Observe(key uint64) {
+	t.seq++
+	if i, ok := t.pos[key]; ok {
+		t.heap[i].count++
+		t.heap[i].seq = t.seq
+		t.siftDown(i)
+		return
+	}
+	if len(t.heap) < t.limit {
+		t.heap = append(t.heap, tkEntry{key: key, count: 1, seq: t.seq})
+		t.pos[key] = len(t.heap) - 1
+		t.siftUp(len(t.heap) - 1)
+		return
+	}
+	min := t.heap[0]
+	delete(t.pos, min.key)
+	t.heap[0] = tkEntry{key: key, count: min.count + 1, err: min.count, seq: t.seq}
+	t.pos[key] = 0
+	t.siftDown(0)
+}
+
+// Guaranteed returns the guaranteed counts (count − err) of the
+// trusted counters in descending order. A counter is trusted when its
+// direct evidence exceeds its inherited noise (count − err > err);
+// under churn — keyspace much larger than the counter budget with no
+// real heavy hitters — every counter is mostly inherited error, the
+// list comes back empty, and the popularity model correctly falls
+// back to its tail-only form. The multiset is deterministic in the
+// stream; key identities are deliberately dropped — the popularity
+// model only needs the rank-frequency shape.
+func (t *topk) Guaranteed() []uint64 {
+	out := make([]uint64, 0, len(t.heap))
+	for _, e := range t.heap {
+		if g := e.count - e.err; g > e.err {
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}
+
+// Len returns the number of live counters.
+func (t *topk) Len() int { return len(t.heap) }
+
+// memBytes estimates resident sketch metadata: the counter array plus
+// the key index (Go map bucket overhead included).
+func (t *topk) memBytes() uint64 {
+	const perEntry = 32 // tkEntry
+	const perIndex = 48 // map bucket share per key
+	return uint64(cap(t.heap))*perEntry + uint64(len(t.pos))*perIndex + 64
+}
+
+func (t *topk) less(i, j int) bool {
+	if t.heap[i].count != t.heap[j].count {
+		return t.heap[i].count < t.heap[j].count
+	}
+	return t.heap[i].seq < t.heap[j].seq
+}
+
+func (t *topk) swap(i, j int) {
+	t.heap[i], t.heap[j] = t.heap[j], t.heap[i]
+	t.pos[t.heap[i].key] = i
+	t.pos[t.heap[j].key] = j
+}
+
+func (t *topk) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.less(i, parent) {
+			return
+		}
+		t.swap(i, parent)
+		i = parent
+	}
+}
+
+func (t *topk) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && t.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && t.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		t.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,140 @@
+package cheform
+
+import (
+	"math"
+	"testing"
+)
+
+// syntheticFit builds a plausible fitted popularity model: a small
+// exact head plus a power-law tail at the given exponent.
+func syntheticFit(alpha float64) Fit {
+	return Fit{
+		Requests: 1_000_000,
+		Distinct: 5000,
+		Alpha:    alpha,
+		Head: []HeadRun{
+			{Count: 50_000, Ranks: 1},
+			{Count: 20_000, Ranks: 2},
+			{Count: 8_000, Ranks: 5},
+			{Count: 2_000, Ranks: 20},
+		},
+	}
+}
+
+var testAlphas = []float64{0.4, 1.0, 2.0}
+
+func TestCharTimeMonotonic(t *testing.T) {
+	for _, alpha := range testAlphas {
+		segs := buildSegments(syntheticFit(alpha))
+		for _, v := range []Variant{Che, Fagin} {
+			prev := 0.0
+			for c := 10.0; c <= 4500; c += 250 {
+				tc := charTime(segs, v, c)
+				if tc <= prev {
+					t.Errorf("alpha=%v %v: T(%v)=%v not above T at previous size %v",
+						alpha, v, c, tc, prev)
+				}
+				prev = tc
+			}
+		}
+	}
+}
+
+// TestCharTimeBracketing: the bisection must actually solve the
+// characteristic equation — occupancy at the returned T matches the
+// requested cache size to high relative precision, across extreme
+// exponents and both variants.
+func TestCharTimeBracketing(t *testing.T) {
+	for _, alpha := range testAlphas {
+		segs := buildSegments(syntheticFit(alpha))
+		for _, v := range []Variant{Che, Fagin} {
+			for _, c := range []float64{1, 17, 300, 2500, 4900} {
+				tc := charTime(segs, v, c)
+				occ := occupancy(segs, v, tc)
+				if math.Abs(occ-c) > 1e-6*c {
+					t.Errorf("alpha=%v %v: occupancy(T(%v)) = %v, bracket did not converge",
+						alpha, v, c, occ)
+				}
+			}
+		}
+	}
+}
+
+func TestMissRatioDecreasesInT(t *testing.T) {
+	for _, alpha := range testAlphas {
+		segs := buildSegments(syntheticFit(alpha))
+		for _, v := range []Variant{Che, Fagin} {
+			prev := math.Inf(1)
+			for _, tc := range []float64{0, 1, 10, 1e3, 1e5, 1e7} {
+				m := missRatio(segs, v, tc)
+				if m > prev+1e-12 {
+					t.Errorf("alpha=%v %v: miss ratio rose from %v to %v at T=%v",
+						alpha, v, prev, m, tc)
+				}
+				prev = m
+			}
+		}
+	}
+}
+
+// TestUniformClosedForm pins the solver on the one case with a pencil
+// answer: uniform popularity over n keys gives occupancy
+// C = n(1−e^(−T/n)), hence miss(C) = e^(−T(C)/n) = 1 − C/n exactly.
+func TestUniformClosedForm(t *testing.T) {
+	segs := []segment{{n: 100, p: 0.01}}
+	for _, c := range []float64{10, 50, 90} {
+		tc := charTime(segs, Che, c)
+		m := missRatio(segs, Che, tc)
+		want := 1 - c/100
+		if math.Abs(m-want) > 1e-6 {
+			t.Errorf("uniform: miss(%v) = %v, want %v", c, m, want)
+		}
+	}
+}
+
+// TestExtremeAlphaCurves: full curve builds at the exponent extremes
+// stay structurally sound and end at the cold-miss floor N/R.
+func TestExtremeAlphaCurves(t *testing.T) {
+	for _, alpha := range []float64{0.4, 2.0} {
+		for _, v := range []Variant{Che, Fagin} {
+			fit := syntheticFit(alpha)
+			curve := buildCurve(fit, Config{Variant: v, Points: DefaultPoints}, 1)
+			if curve.Sizes[0] != 0 || curve.Miss[0] != 1 {
+				t.Fatalf("alpha=%v %v: curve must start at (0, 1)", alpha, v)
+			}
+			prevSize := uint64(0)
+			prevMiss := math.Inf(1)
+			for i := range curve.Sizes {
+				if i > 0 && curve.Sizes[i] <= prevSize {
+					t.Fatalf("alpha=%v %v: sizes not strictly increasing at %d", alpha, v, i)
+				}
+				if curve.Miss[i] < 0 || curve.Miss[i] > 1 || curve.Miss[i] > prevMiss {
+					t.Fatalf("alpha=%v %v: miss not monotone in [0,1] at %d: %v",
+						alpha, v, i, curve.Miss[i])
+				}
+				prevSize, prevMiss = curve.Sizes[i], curve.Miss[i]
+			}
+			cold := fit.Distinct / float64(fit.Requests)
+			final := curve.Miss[len(curve.Miss)-1]
+			if math.Abs(final-cold) > 1e-3 {
+				t.Errorf("alpha=%v %v: final miss %v, want the cold ratio %v", alpha, v, final, cold)
+			}
+		}
+	}
+}
+
+// TestVariantsDiverge: Che and Fagin are different formulas; on a
+// skewed fit with a short characteristic window they must not emit
+// bit-identical decay values (a guard against one variant silently
+// aliasing the other).
+func TestVariantsDiverge(t *testing.T) {
+	if decay(Che, 0.3, 5) == decay(Fagin, 0.3, 5) {
+		t.Error("Che and Fagin decay identical on a high-popularity key")
+	}
+	if decay(Fagin, 1, 5) != 0 {
+		t.Error("Fagin decay of a p=1 key must be 0")
+	}
+	if decay(Che, 0, 5) != 1 {
+		t.Error("decay of a p=0 key must be 1")
+	}
+}

@@ -216,7 +216,7 @@ func BuildCurve(name string, trial Trial, bytes bool) (*mrc.Curve, error) {
 // CheckModel runs the differential comparison of one registered model
 // on one trial at object granularity.
 func (r *Runner) CheckModel(info model.Info, trial Trial) Result {
-	res := Result{Model: info.Name, Trial: trial.Name, Granular: "objects", Envelope: Envelope(info.Name)}
+	res := Result{Model: info.Name, Trial: trial.Name, Granular: "objects", Envelope: EnvelopeFor(info.Name, trial.Name)}
 	ref, sizes, err := r.Reference(info.Target, trial)
 	if err != nil {
 		res.Err = err

@@ -59,6 +59,52 @@ var byteEnvelopes = map[string]float64{
 // new technique.
 const DefaultEnvelope = 0.10
 
+// analyticEnvelopes are the per-trial bounds for the closed-form
+// analytic tier (che, fagin). Unlike every stateful technique, the
+// closed forms see only the popularity distribution — no sequencing —
+// so their error is a property of the workload family, not of the
+// model's bookkeeping. On IRM-like trials (zipf, uniform) the bounds
+// keep the table's ~2x-over-observed convention (observed ≤ 0.005 on
+// all three at declaration time, with generous float headroom). The
+// Type A trials are declared ceilings rather than 2x bounds: their
+// reuse structure is out of model by construction (DESIGN.md §14) —
+// observed 0.11 on msr (whose scan/loop phases dilute the IRM hot
+// set) and 0.34 on the pure loop, where the closed form degrades to
+// the random-replacement line 1−C/N while K-LRU's age-biased
+// eviction is pessimal on cycles.
+var analyticEnvelopes = map[string]float64{
+	"zipf":     0.02,
+	"zipf-var": 0.02,
+	"uniform":  0.02,
+	"msr":      0.20,
+	"loop":     0.40,
+}
+
+// analyticDefaultEnvelope bounds the analytic tier on trials without
+// a declared entry (the randomized -tags difftest sweep and corpus
+// replays). It must absorb the worst Type A case the random families
+// generate: a pure loop against a high-K reference (miss ≈ 1 until
+// C = N) puts the closed form's 1−C/N line a mean of ~0.5 away —
+// structural, not a regression signal, hence the near-vacuous bound;
+// the named trials above carry the real contract.
+const analyticDefaultEnvelope = 0.55
+
+// analytic reports whether a model is in the closed-form tier.
+func analytic(name string) bool { return name == "che" || name == "fagin" }
+
+// EnvelopeFor returns the declared object-granularity MAE bound for a
+// model on a named trial. For every stateful technique this is the
+// trial-independent Envelope; the analytic tier resolves per trial.
+func EnvelopeFor(name, trial string) float64 {
+	if analytic(name) {
+		if e, ok := analyticEnvelopes[trial]; ok {
+			return e
+		}
+		return analyticDefaultEnvelope
+	}
+	return Envelope(name)
+}
+
 // BucketEnvelope returns the declared object-granularity MAE bound
 // for the krr-bucket model at a given bucket growth ratio. The
 // bucketized stack reports distances at position granularity but

@@ -2,6 +2,7 @@ package model
 
 import (
 	"krr/internal/aet"
+	"krr/internal/cheform"
 	"krr/internal/core"
 	"krr/internal/counterstacks"
 	"krr/internal/hashing"
@@ -386,6 +387,35 @@ func newMRU(o Options) (Model, error) {
 	}, nil
 }
 
+// --- Closed-form analytic (Che / Fagin) ------------------------------
+
+// newAnalytic builds the instant-estimate tier: a cheform popularity
+// fitter behind the adapter. No distance bookkeeping exists to merge,
+// so no CapSharded; deletes don't change the popularity distribution,
+// so no CapDeletes (the fitter ignores them, keeping curves invariant
+// under delete injection). The fitter's curve read is non-destructive
+// and deterministic in the sketch state, so objCurve doubles as the
+// snapshot read and end-of-stream snapshots are bit-identical to the
+// finalized curve.
+func newAnalytic(variant cheform.Variant) func(Options) (Model, error) {
+	return func(o Options) (Model, error) {
+		filter, scale := extFilter(o)
+		f, err := cheform.New(cheform.Config{
+			Variant:      variant,
+			DefaultAlpha: o.AnalyticAlpha,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &streamModel{
+			filter:    filter,
+			process:   f.Process,
+			objCurve:  func() *mrc.Curve { return f.Curve(scale) },
+			footprint: f.MemoryOverheadBytes,
+		}, nil
+	}
+}
+
 // --- Registry --------------------------------------------------------
 
 func init() {
@@ -489,6 +519,25 @@ func init() {
 		Space:      "O(B) buckets + key map",
 		Caps:       CapDeletes | CapSharded,
 		New:        newMimir,
+	})
+	Register(Info{
+		Name:       "che",
+		Aliases:    []string{"che-approx"},
+		Target:     "klru",
+		Paper:      "Che, Tung & Wang, JSAC '02 / Berthet '17",
+		Complexity: "O(log H)/ref (H head counters)",
+		Space:      "O(1): H counters + HLL",
+		Caps:       0,
+		New:        newAnalytic(cheform.Che),
+	})
+	Register(Info{
+		Name:       "fagin",
+		Target:     "klru",
+		Paper:      "Fagin '77 / Berthet '17",
+		Complexity: "O(log H)/ref (H head counters)",
+		Space:      "O(1): H counters + HLL",
+		Caps:       0,
+		New:        newAnalytic(cheform.Fagin),
 	})
 	Register(Info{
 		Name:       "lfu",

@@ -45,6 +45,7 @@ import (
 	"io"
 	"strings"
 
+	"krr/internal/cheform"
 	"krr/internal/core"
 	"krr/internal/mrc"
 	"krr/internal/telemetry"
@@ -181,6 +182,12 @@ type Options struct {
 	// ratio, in [1, core.MaxBucketRatio]; 0 means the technique's
 	// default (core.DefaultBucketRatio). Other models ignore it.
 	BucketRatio float64
+	// AnalyticAlpha is the fallback Zipf exponent the closed-form
+	// analytic models (che, fagin) use when the online rank-frequency
+	// fit is degenerate (analysis.ZipfFit's 0 sentinel), in
+	// (0, cheform.MaxAlpha]; 0 means the technique's default
+	// (cheform.DefaultAlpha). Other models ignore it.
+	AnalyticAlpha float64
 }
 
 // k returns the effective sampling size.
@@ -211,6 +218,9 @@ func (o Options) Validate() error {
 	}
 	if o.BucketRatio != 0 && (o.BucketRatio < 1 || o.BucketRatio > core.MaxBucketRatio) {
 		return fmt.Errorf("model: bucket ratio %v out of [1, %v]", o.BucketRatio, core.MaxBucketRatio)
+	}
+	if o.AnalyticAlpha != 0 && (o.AnalyticAlpha < 0 || o.AnalyticAlpha > cheform.MaxAlpha) {
+		return fmt.Errorf("model: analytic alpha %v out of (0, %v]", o.AnalyticAlpha, cheform.MaxAlpha)
 	}
 	return nil
 }

@@ -30,6 +30,10 @@ go build ./...
 echo "== difftest-fast (differential harness, deterministic trials)"
 go test -count=1 -run 'TestDifferential|TestCorpus|TestMetamorphic' ./internal/difftest/
 
+echo "== cheform-fast (analytic tier: solver, fitter, declared envelopes)"
+go test -count=1 ./internal/cheform/
+go test -count=1 -run 'TestDifferentialAnalytic|TestAnalyticCurveInvariants' ./internal/difftest/
+
 if [ "${1:-}" = "fast" ]; then
 	echo "== go test (no race)"
 	go test ./...
