@@ -163,7 +163,14 @@ func (c *Controller) Decisions() []Decision { return c.decisions }
 // Predictions returns each candidate's current predicted miss ratio
 // at the configured budget.
 func (c *Controller) Predictions() map[int]float64 {
-	budget := c.budget.Load()
+	return c.predictionsAt(c.budget.Load())
+}
+
+// predictionsAt evaluates every candidate at one fixed budget. decide
+// threads a single budget load through both the comparison and the
+// Decision record so a concurrent SetBudgetObjects cannot make the log
+// claim a budget the candidates were never evaluated at.
+func (c *Controller) predictionsAt(budget uint64) map[int]float64 {
 	out := make(map[int]float64, len(c.profilers))
 	for k, p := range c.profilers {
 		out[k] = p.ObjectMRC().Eval(budget)
@@ -225,7 +232,8 @@ func (c *Controller) ProcessAll(r trace.Reader) error {
 }
 
 func (c *Controller) decide() {
-	pred := c.Predictions()
+	budget := c.budget.Load()
+	pred := c.predictionsAt(budget)
 	current := int(c.currentK.Load())
 	bestK, bestMiss := current, pred[current]
 	for _, k := range c.cfg.Candidates {
@@ -248,7 +256,7 @@ func (c *Controller) decide() {
 	c.lastPredicted.Store(math.Float64bits(pred[current]))
 	c.decisions = append(c.decisions, Decision{
 		AtRequest:     c.count,
-		BudgetObjects: c.budget.Load(),
+		BudgetObjects: budget,
 		ChosenK:       current,
 		Predicted:     pred,
 		Switched:      switched,

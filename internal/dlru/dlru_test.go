@@ -237,3 +237,53 @@ func TestControllerMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestDecideBudgetConsistentUnderConcurrentRetarget pins the decide()
+// budget fix: the comparison and the Decision record must come from a
+// single budget load, so a SetBudgetObjects racing a window boundary
+// can never produce a log entry claiming a budget the candidates were
+// not evaluated at. Run under -race this also exercises the atomic
+// pathway itself.
+func TestDecideBudgetConsistentUnderConcurrentRetarget(t *testing.T) {
+	ctl, err := New(Config{
+		BudgetObjects: 100,
+		Candidates:    []int{1, 32},
+		Window:        500,
+		SamplingRate:  1,
+		Seed:          1,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[uint64]bool{100: true, 900: true}
+	done := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		defer close(done)
+		next := uint64(900)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				ctl.SetBudgetObjects(next)
+				next = 1000 - next
+			}
+		}
+	}()
+	gen := workload.NewZipf(2, 3000, 1.0, nil, 0)
+	if err := ctl.ProcessAll(trace.LimitReader(gen, 30_000)); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	<-done
+	dec := ctl.Decisions()
+	if len(dec) == 0 {
+		t.Fatal("no decisions taken")
+	}
+	for i, d := range dec {
+		if !valid[d.BudgetObjects] {
+			t.Fatalf("decision %d recorded budget %d, never a configured value", i, d.BudgetObjects)
+		}
+	}
+}

@@ -1,9 +1,12 @@
-package dlru
+// External test package: redislike's duel layer imports dlru for its
+// shadow judge, so an in-package test importing redislike would cycle.
+package dlru_test
 
 import (
 	"strconv"
 	"testing"
 
+	"krr/internal/dlru"
 	"krr/internal/redislike"
 	"krr/internal/trace"
 	"krr/internal/workload"
@@ -33,7 +36,7 @@ func TestControllerDrivesRedisOverRESP(t *testing.T) {
 	defer client.Close()
 	tunable := redislike.NewTunableClient(client)
 
-	ctl, err := New(Config{
+	ctl, err := dlru.New(dlru.Config{
 		BudgetObjects: budget,
 		Candidates:    []int{1, 32},
 		Window:        5_000,

@@ -28,7 +28,7 @@ func init() {
 // engineMRC replays the trace against redislike engines at each
 // object budget (converted to maxmemory) in parallel.
 func engineMRC(tr *trace.Trace, objSizes []uint64, mode redislike.SamplingMode, seed uint64, workers int) *mrc.Curve {
-	const objCost = trace.DefaultObjectSize + 48 // value + per-key overhead
+	const objCost = trace.DefaultObjectSize + redislike.PerKeyOverhead
 	miss := parallel.Map(len(objSizes), workers, func(i int) float64 {
 		e := redislike.NewEngine(redislike.Config{
 			MaxMemory: objSizes[i] * objCost,

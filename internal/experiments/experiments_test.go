@@ -25,7 +25,7 @@ func tinyOpts() Options {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"ablation.kprime", "ablation.redis-sampling", "ablation.replacement", "ablation.sizearray",
-		"ext.aet-crossover", "ext.analytic", "ext.dlru", "ext.fleet", "ext.lru-baselines", "ext.minisim", "ext.opt-bound", "ext.policies",
+		"ext.aet-crossover", "ext.analytic", "ext.dlru", "ext.duel", "ext.fleet", "ext.lru-baselines", "ext.minisim", "ext.opt-bound", "ext.policies",
 		"fig1.1", "fig5.1", "fig5.2", "fig5.3", "fig5.4", "fig5.5",
 		"space", "table5.1", "table5.2", "table5.3", "table5.4",
 	}
@@ -325,7 +325,7 @@ func TestAblations(t *testing.T) {
 }
 
 func TestExtensions(t *testing.T) {
-	for _, id := range []string{"ext.aet-crossover", "ext.analytic", "ext.minisim", "ext.policies", "ext.dlru", "ext.fleet", "ext.lru-baselines", "ext.opt-bound"} {
+	for _, id := range []string{"ext.aet-crossover", "ext.analytic", "ext.minisim", "ext.policies", "ext.dlru", "ext.duel", "ext.fleet", "ext.lru-baselines", "ext.opt-bound"} {
 		runOne(t, id)
 	}
 }

@@ -15,9 +15,12 @@ const (
 	EvictionPoolSize = 16
 	// DefaultSamples matches Redis 5+'s default maxmemory-samples.
 	DefaultSamples = 5
-	// perKeyOverhead approximates Redis's per-key bookkeeping cost
-	// (dict entry + robj header) counted against maxmemory.
-	perKeyOverhead = 48
+	// PerKeyOverhead approximates Redis's per-key bookkeeping cost
+	// (dict entry + robj header) counted against maxmemory. Exported
+	// so budget math outside the package (experiments, duel sizing)
+	// matches the engine's accounting.
+	PerKeyOverhead = 48
+	perKeyOverhead = PerKeyOverhead
 )
 
 // Policy selects the eviction policy, mirroring Redis's
@@ -37,6 +40,20 @@ const (
 	// counter and idle-time decay.
 	PolicyLFU
 )
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyLRU:
+		return "lru"
+	case PolicyRandom:
+		return "random"
+	case PolicyLFU:
+		return "lfu"
+	default:
+		return "policy?"
+	}
+}
 
 // LFU counter parameters, mirroring Redis defaults.
 const (
@@ -219,6 +236,16 @@ func (e *Engine) SetSamples(k int) {
 // Samples returns the current maxmemory-samples.
 func (e *Engine) Samples() int { return e.cfg.Samples }
 
+// SetPolicy switches the eviction policy online — the second knob the
+// set-dueling tournament steers (Redis: CONFIG SET maxmemory-policy).
+// Objects carry their LFU counters from creation, so a switch into
+// PolicyLFU starts from warm-init counters and decays from there,
+// exactly like a real Redis policy flip on a running instance.
+func (e *Engine) SetPolicy(p Policy) { e.cfg.Policy = p }
+
+// Policy returns the eviction policy in force.
+func (e *Engine) Policy() Policy { return e.cfg.Policy }
+
 // SetMaxMemory reconfigures the eviction threshold, evicting
 // immediately if the new limit is already exceeded (0 disables).
 func (e *Engine) SetMaxMemory(bytes uint64) {
@@ -241,6 +268,7 @@ func (e *Engine) Get(key uint64) (uint32, bool) {
 	e.ticks++
 	if ent := e.dict.find(key); ent != nil {
 		e.touch(ent.obj)
+		e.pool.removeKey(key)
 		e.stats.Hits++
 		return ent.obj.size, true
 	}
@@ -251,6 +279,13 @@ func (e *Engine) Get(key uint64) (uint32, bool) {
 // Set stores key with a value of the given size, evicting as needed.
 func (e *Engine) Set(key uint64, size uint32) {
 	e.ticks++
+	e.store(key, size)
+}
+
+// store implements Set without advancing the clock, so a cache-aside
+// fill can share the tick of the Get that missed (one tick per
+// request, the K-LRU simulator convention).
+func (e *Engine) store(key uint64, size uint32) {
 	e.stats.Sets++
 	cost := uint64(size) + perKeyOverhead
 	if prev := e.dict.find(key); prev != nil {
@@ -262,6 +297,11 @@ func (e *Engine) Set(key uint64, size uint32) {
 		e.dict.set(key, &object{size: size, lru: e.clock(), lfu: lfuInitVal, lfuTouched: e.clock()})
 		e.used += cost
 	}
+	// A just-written key is maximally fresh: drop any stale high-idle
+	// pool entry left from before the touch (or from a prior life of a
+	// randomly-evicted key), or the next eviction cycle could pick this
+	// hot key on its stale score.
+	e.pool.removeKey(key)
 	e.evictIfNeeded()
 }
 
@@ -294,7 +334,10 @@ func (e *Engine) Access(req trace.Request) bool {
 		if _, ok := e.Get(req.Key); ok {
 			return true
 		}
-		e.Set(req.Key, req.Size)
+		// The fill shares the missing Get's tick: one clock advance
+		// per request, not two, so idle times on miss-heavy traces
+		// match the simulator convention.
+		e.store(req.Key, req.Size)
 		return false
 	}
 }

@@ -396,3 +396,63 @@ func BenchmarkEngineAccess(b *testing.B) {
 		e.Access(reqs[i&(1<<16-1)])
 	}
 }
+
+// TestAccessMissSingleTick pins the one-tick-per-request convention:
+// the cache-aside fill after a missing Get must share the Get's clock
+// advance, or idle times on miss-heavy traces run twice as fast as
+// the K-LRU simulator the §5.7 validation compares against.
+func TestAccessMissSingleTick(t *testing.T) {
+	e := NewEngine(Config{Seed: 1})
+	cases := []struct {
+		req  trace.Request
+		want uint64
+	}{
+		{trace.Request{Key: 1, Size: 100, Op: trace.OpGet}, 1}, // miss + fill
+		{trace.Request{Key: 1, Size: 100, Op: trace.OpGet}, 2}, // hit
+		{trace.Request{Key: 2, Size: 100, Op: trace.OpSet}, 3}, // explicit set
+		{trace.Request{Key: 2, Op: trace.OpDelete}, 4},         // delete
+		{trace.Request{Key: 2, Size: 100, Op: trace.OpGet}, 5}, // miss + fill again
+	}
+	for i, c := range cases {
+		e.Access(c.req)
+		if e.ticks != c.want {
+			t.Fatalf("case %d: ticks = %d, want %d", i, e.ticks, c.want)
+		}
+	}
+}
+
+// poolHolds reports whether the eviction pool has an entry for key.
+func poolHolds(p *evictionPool, key uint64) bool {
+	for _, s := range p.slots {
+		if s.used && s.key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTouchedKeyLeavesEvictionPool pins the stale-candidate fix: a key
+// sitting in the eviction pool with a high recorded idle time must be
+// dropped when a Get or Set refreshes it, or the next eviction cycle
+// can evict a hot key on its stale score.
+func TestTouchedKeyLeavesEvictionPool(t *testing.T) {
+	e := NewEngine(Config{Seed: 1})
+	e.Set(7, 100)
+	e.Set(8, 100)
+
+	e.pool.offer(7, 500)
+	e.pool.offer(8, 500)
+	if !poolHolds(&e.pool, 7) || !poolHolds(&e.pool, 8) {
+		t.Fatal("pool setup failed")
+	}
+	if _, ok := e.Get(7); !ok {
+		t.Fatal("key 7 missing")
+	}
+	if poolHolds(&e.pool, 7) {
+		t.Fatal("Get hit left key 7 in the eviction pool with a stale idle time")
+	}
+	e.Set(8, 120)
+	if poolHolds(&e.pool, 8) {
+		t.Fatal("Set on existing key left key 8 in the eviction pool with a stale idle time")
+	}
+}

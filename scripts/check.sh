@@ -39,10 +39,15 @@ if [ "${1:-}" = "fast" ]; then
 	go test ./...
 	echo "== model conformance + snapshots (-race)"
 	go test -race -run 'TestConformance|TestSharded|TestSnapshot|TestQuiesce' ./internal/model/ ./internal/shardpipe/
+	echo "== redislike + dlru (-race: duel counters, controller retarget)"
+	go test -race ./internal/redislike/... ./internal/dlru/...
 else
 	echo "== go test -race"
 	go test -race ./...
 fi
+
+echo "== duel-smoke (set-dueling tournament tracks the best static rival)"
+go test -count=1 -run TestDuelSmoke ./internal/redislike/
 
 echo "== krrserve smoke (build daemon, ingest over HTTP, scrape, SIGTERM)"
 go test -count=1 -run TestServeSmoke ./cmd/krrserve/
